@@ -1,0 +1,195 @@
+//! Affine address analysis for memory disambiguation.
+//!
+//! After unwinding, induction simplification leaves every load/store address
+//! in the form `base_register + constant` (the constant lives in the op's
+//! `disp` field). Two accesses to the same array with the *same* base
+//! register alias exactly when their constants are equal; with different or
+//! unknown bases they must be assumed to alias. This is the word-level
+//! disambiguation the paper's Livermore results rely on (cross-iteration
+//! `x[k+i]` vs `x[k+j]`).
+
+use grip_ir::{OpId, OpKind, Operand, RegId, Value};
+use std::collections::HashMap;
+
+/// A resolved address: `base + offset`, with `base = None` meaning an
+/// absolute (constant) address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AffineAddr {
+    /// Runtime base register, if any.
+    pub base: Option<RegId>,
+    /// Compile-time constant part.
+    pub offset: i64,
+}
+
+/// Tracks, per register, the affine expression assigned to it by the
+/// program's single definition (registers redefined along the walk are
+/// poisoned and resolve to "unknown").
+#[derive(Default)]
+pub struct AffineMap {
+    exprs: HashMap<RegId, AffineAddr>,
+    poisoned: HashMap<RegId, bool>,
+}
+
+impl AffineMap {
+    /// Empty map.
+    pub fn new() -> AffineMap {
+        AffineMap::default()
+    }
+
+    /// Feed one operation, in program order.
+    pub fn observe(&mut self, op: &grip_ir::Operation, _id: OpId) {
+        let Some(dest) = op.dest else { return };
+        if self.exprs.contains_key(&dest) || self.poisoned.get(&dest).copied().unwrap_or(false) {
+            // Second definition: poison.
+            self.exprs.remove(&dest);
+            self.poisoned.insert(dest, true);
+            return;
+        }
+        let expr = match op.kind {
+            OpKind::Copy => match op.src[0] {
+                Operand::Imm(Value::I(c)) => Some(AffineAddr { base: None, offset: c }),
+                Operand::Reg(s) => Some(self.resolve_reg(s)),
+                _ => None,
+            },
+            OpKind::IAdd | OpKind::ISub => {
+                let sign = if op.kind == OpKind::ISub { -1 } else { 1 };
+                match (op.src[0], op.src[1]) {
+                    (Operand::Reg(s), Operand::Imm(Value::I(c))) => {
+                        let mut e = self.resolve_reg(s);
+                        e.offset += sign * c;
+                        Some(e)
+                    }
+                    (Operand::Imm(Value::I(c)), Operand::Reg(s)) if sign == 1 => {
+                        let mut e = self.resolve_reg(s);
+                        e.offset += c;
+                        Some(e)
+                    }
+                    (Operand::Imm(Value::I(a)), Operand::Imm(Value::I(b))) => {
+                        Some(AffineAddr { base: None, offset: a + sign * b })
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        match expr {
+            Some(e) => {
+                self.exprs.insert(dest, e);
+            }
+            None => {
+                self.poisoned.insert(dest, true);
+            }
+        }
+    }
+
+    /// The affine expression a register holds (itself + 0 for registers with
+    /// no recorded definition, e.g. loop inputs).
+    fn resolve_reg(&self, r: RegId) -> AffineAddr {
+        if self.poisoned.get(&r).copied().unwrap_or(false) {
+            // Unknown content: use the register itself as an opaque base —
+            // *not* comparable with other uses, so mark via a sentinel.
+            return AffineAddr { base: Some(r), offset: i64::MIN };
+        }
+        self.exprs.get(&r).copied().unwrap_or(AffineAddr { base: Some(r), offset: 0 })
+    }
+
+    /// Resolve a load/store address (`index operand + disp`). `None` means
+    /// statically unknown.
+    pub fn resolve_addr(&self, index: Operand, disp: i64) -> Option<AffineAddr> {
+        match index {
+            Operand::Imm(Value::I(c)) => Some(AffineAddr { base: None, offset: c + disp }),
+            Operand::Imm(_) => None,
+            Operand::Reg(r) => {
+                if self.poisoned.get(&r).copied().unwrap_or(false) {
+                    return None;
+                }
+                let mut e = self.resolve_reg(r);
+                if e.offset == i64::MIN {
+                    return None;
+                }
+                e.offset += disp;
+                Some(e)
+            }
+        }
+    }
+}
+
+/// May two resolved addresses (same array) refer to the same word?
+pub fn may_alias(a: Option<AffineAddr>, b: Option<AffineAddr>) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => {
+            if x.base == y.base {
+                x.offset == y.offset
+            } else {
+                // Different or mixed bases: cannot disambiguate.
+                true
+            }
+        }
+        // Anything unknown may alias.
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grip_ir::{Graph, Operation};
+
+    fn iadd(g: &mut Graph, d: RegId, s: RegId, c: i64) -> Operation {
+        let _ = g;
+        Operation::new(OpKind::IAdd, Some(d), vec![Operand::Reg(s), Operand::Imm(Value::I(c))])
+    }
+
+    #[test]
+    fn chains_fold_to_common_base() {
+        let mut g = Graph::new();
+        let k0 = g.named_reg("k0");
+        let k1 = g.named_reg("k1");
+        let k2 = g.named_reg("k2");
+        let mut m = AffineMap::new();
+        m.observe(&iadd(&mut g, k1, k0, 1), OpId::new(0));
+        m.observe(&iadd(&mut g, k2, k1, 1), OpId::new(1));
+        let a0 = m.resolve_addr(Operand::Reg(k0), 0).unwrap();
+        let a2 = m.resolve_addr(Operand::Reg(k2), 0).unwrap();
+        assert_eq!(a0.base, a2.base);
+        assert_eq!(a2.offset - a0.offset, 2);
+        assert!(!may_alias(Some(a0), Some(a2)));
+        assert!(may_alias(Some(a0), m.resolve_addr(Operand::Reg(k2), -2)));
+    }
+
+    #[test]
+    fn redefinition_poisons() {
+        let mut g = Graph::new();
+        let k = g.named_reg("k");
+        let d = g.named_reg("d");
+        let mut m = AffineMap::new();
+        m.observe(&iadd(&mut g, d, k, 1), OpId::new(0));
+        m.observe(&iadd(&mut g, d, k, 2), OpId::new(1)); // redefined
+        assert_eq!(m.resolve_addr(Operand::Reg(d), 0), None);
+    }
+
+    #[test]
+    fn unknown_defs_poison() {
+        let mut g = Graph::new();
+        let d = g.named_reg("d");
+        let s = g.named_reg("s");
+        let mut m = AffineMap::new();
+        // d = s * 3 is not affine-in-one-register for our purposes
+        m.observe(
+            &Operation::new(OpKind::IMul, Some(d), vec![Operand::Reg(s), Operand::Imm(Value::I(3))]),
+            OpId::new(0),
+        );
+        assert_eq!(m.resolve_addr(Operand::Reg(d), 0), None);
+        assert!(may_alias(m.resolve_addr(Operand::Reg(d), 0), Some(AffineAddr { base: None, offset: 3 })));
+    }
+
+    #[test]
+    fn absolute_addresses_compare() {
+        let m = AffineMap::new();
+        let a = m.resolve_addr(Operand::Imm(Value::I(3)), 1);
+        let b = m.resolve_addr(Operand::Imm(Value::I(4)), 0);
+        let c = m.resolve_addr(Operand::Imm(Value::I(9)), 0);
+        assert!(may_alias(a, b));
+        assert!(!may_alias(a, c));
+    }
+}

@@ -1,0 +1,137 @@
+//! A fixed-capacity bit set over `u64` words, used for register sets in the
+//! dataflow analyses (dense, allocation-free in the inner loops).
+
+/// Dense bit set with a fixed capacity chosen at construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold `bits` elements.
+    pub fn new(bits: usize) -> BitSet {
+        BitSet { words: vec![0; bits.div_ceil(64)], bits }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.bits
+    }
+
+    /// Insert `i`; returns true if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.bits, "bit {i} out of capacity {}", self.bits);
+        let (w, b) = (i / 64, i % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Remove `i`; returns true if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.bits, other.bits);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no element is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over set elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Grow capacity to at least `bits` (new bits start unset).
+    pub fn grow(&mut self, bits: usize) {
+        if bits > self.bits {
+            self.bits = bits;
+            self.words.resize(bits.div_ceil(64), 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_and_iter() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(64);
+        b.insert(1);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 64]);
+    }
+
+    #[test]
+    fn grow_preserves() {
+        let mut s = BitSet::new(10);
+        s.insert(7);
+        s.grow(200);
+        assert!(s.contains(7));
+        s.insert(199);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # grip-analysis — dataflow analyses for percolation scheduling
+//!
+//! The program analyses the GRiP stack needs:
+//!
+//! * [`reverse_postorder`] / [`Dominators`] — traversal orders and the
+//!   dominance relation ("the subgraph dominated by *n*" of §3.2);
+//! * [`Liveness`] — register liveness over tree instructions, driving the
+//!   paper's write-live conflict test and dead-code removal;
+//! * [`AffineMap`] / [`may_alias`] — `base + constant` address resolution
+//!   for word-level memory disambiguation across unwound iterations;
+//! * [`Ddg`] — the data-dependence graph (register true deps re-checked
+//!   syntactically during motion; memory deps consulted through `orig` ids
+//!   because they survive renaming and duplication);
+//! * [`RankTable`] — the §3.4 scheduling heuristic (longest chain, then
+//!   dependent count, with the Perfect-Pipelining iteration-major rule).
+
+#![warn(missing_docs)]
+
+pub mod affine;
+mod bitset;
+mod ddg;
+mod liveness;
+mod order;
+mod rank;
+
+pub use affine::{may_alias, AffineAddr, AffineMap};
+pub use bitset::BitSet;
+pub use ddg::{ChainMetrics, Ddg};
+pub use liveness::Liveness;
+pub use order::{reverse_postorder, Dominators, OrderIndex};
+pub use rank::{Priority, RankTable};

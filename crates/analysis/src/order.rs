@@ -1,0 +1,237 @@
+//! Traversal orders and dominators over the program graph.
+//!
+//! Scheduling works on an acyclic *window* (the unwound loop body plus its
+//! exit blocks); the loop back edge is excluded by construction because the
+//! window head's predecessor set is simply never consulted. For safety these
+//! routines tolerate cycles by ignoring back edges found during DFS.
+
+use grip_ir::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Topological-ish order of the nodes reachable from `root`: reverse
+/// post-order of a DFS, which linearizes acyclic regions topologically and
+/// breaks cycles at their back edges.
+pub fn reverse_postorder(g: &Graph, root: NodeId) -> Vec<NodeId> {
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Enter(NodeId),
+        Exit(NodeId),
+    }
+    let mut seen: Vec<bool> = vec![false; g.node_ids().map(|n| n.index() + 1).max().unwrap_or(0)];
+    let mut post = Vec::new();
+    let mut stack = vec![Ev::Enter(root)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(n) => {
+                if seen[n.index()] {
+                    continue;
+                }
+                seen[n.index()] = true;
+                stack.push(Ev::Exit(n));
+                // Push successors in reverse so the first successor is
+                // visited first (stable, source-order DFS).
+                let succs = g.unique_successors(n);
+                for &s in succs.iter().rev() {
+                    if !seen[s.index()] {
+                        stack.push(Ev::Enter(s));
+                    }
+                }
+            }
+            Ev::Exit(n) => post.push(n),
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Positions of nodes within an order, for O(1) "is A before B" queries.
+pub struct OrderIndex {
+    pos: HashMap<NodeId, usize>,
+}
+
+impl OrderIndex {
+    /// Index the given order.
+    pub fn new(order: &[NodeId]) -> OrderIndex {
+        OrderIndex { pos: order.iter().enumerate().map(|(i, &n)| (n, i)).collect() }
+    }
+
+    /// Position of `n` in the order, if present.
+    pub fn pos(&self, n: NodeId) -> Option<usize> {
+        self.pos.get(&n).copied()
+    }
+
+    /// True when `a` precedes `b` (both must be in the order).
+    pub fn before(&self, a: NodeId, b: NodeId) -> bool {
+        self.pos[&a] < self.pos[&b]
+    }
+}
+
+/// Immediate-dominator tree for the subgraph reachable from `root`,
+/// computed with the classic iterative Cooper–Harvey–Kennedy algorithm.
+pub struct Dominators {
+    idom: HashMap<NodeId, NodeId>,
+    order: Vec<NodeId>,
+}
+
+impl Dominators {
+    /// Compute dominators from `root`.
+    pub fn compute(g: &Graph, root: NodeId) -> Dominators {
+        let order = reverse_postorder(g, root);
+        let index = OrderIndex::new(&order);
+        let preds: HashMap<NodeId, Vec<NodeId>> = {
+            let mut m: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+            for &n in &order {
+                for s in g.unique_successors(n) {
+                    if index.pos(s).is_some() {
+                        m.entry(s).or_default().push(n);
+                    }
+                }
+            }
+            m
+        };
+        let mut idom: HashMap<NodeId, NodeId> = HashMap::new();
+        idom.insert(root, root);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in order.iter().skip(1) {
+                let mut new_idom: Option<NodeId> = None;
+                for &p in preds.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if !idom.contains_key(&p) {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&n) != Some(&ni) {
+                        idom.insert(n, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, order }
+    }
+
+    fn intersect(
+        idom: &HashMap<NodeId, NodeId>,
+        index: &OrderIndex,
+        mut a: NodeId,
+        mut b: NodeId,
+    ) -> NodeId {
+        while a != b {
+            while index.pos(a).unwrap() > index.pos(b).unwrap() {
+                a = idom[&a];
+            }
+            while index.pos(b).unwrap() > index.pos(a).unwrap() {
+                b = idom[&b];
+            }
+        }
+        a
+    }
+
+    /// Immediate dominator of `n` (itself for the root).
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        self.idom.get(&n).copied()
+    }
+
+    /// True when `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom.get(&cur) {
+                Some(&d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The nodes dominated by `n`, in reverse post-order.
+    pub fn dominated_by(&self, n: NodeId) -> Vec<NodeId> {
+        self.order.iter().copied().filter(|&m| self.dominates(n, m)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grip_ir::{OpKind, Operand, ProgramBuilder, Value};
+
+    fn diamond() -> (Graph, Vec<NodeId>) {
+        // entry -> cond -> (t | f) -> join
+        let mut b = ProgramBuilder::new();
+        let c = b.named_reg("c");
+        b.const_i(c, 0);
+        let g = b.finish();
+        // Build the diamond by hand on top.
+        let mut g = g;
+        let cv = g.named_reg("cv");
+        let cj = g.add_op(grip_ir::Operation::new(OpKind::CondJump, None, vec![Operand::Reg(cv)]));
+        let join = g.add_node(grip_ir::Tree::leaf(None));
+        let t = g.add_node(grip_ir::Tree::leaf(Some(join)));
+        let f = g.add_node(grip_ir::Tree::leaf(Some(join)));
+        let cond = g.add_node(grip_ir::Tree::Branch {
+            ops: vec![],
+            cj,
+            on_true: Box::new(grip_ir::Tree::leaf(Some(t))),
+            on_false: Box::new(grip_ir::Tree::leaf(Some(f))),
+        });
+        // chain the original tail to cond
+        let tail = g
+            .reachable()
+            .into_iter()
+            .find(|&n| g.successors(n).is_empty() && n != join && n != t && n != f)
+            .unwrap();
+        g.set_succ(tail, grip_ir::TreePath::ROOT, Some(cond));
+        (g, vec![cond, t, f, join])
+    }
+
+    #[test]
+    fn rpo_is_topological_on_dags() {
+        let (g, nodes) = diamond();
+        let order = reverse_postorder(&g, g.entry);
+        let idx = OrderIndex::new(&order);
+        let (cond, t, f, join) = (nodes[0], nodes[1], nodes[2], nodes[3]);
+        assert!(idx.before(cond, t));
+        assert!(idx.before(cond, f));
+        assert!(idx.before(t, join));
+        assert!(idx.before(f, join));
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let (g, nodes) = diamond();
+        let (cond, t, _f, join) = (nodes[0], nodes[1], nodes[2], nodes[3]);
+        let dom = Dominators::compute(&g, g.entry);
+        assert!(dom.dominates(cond, t));
+        assert!(dom.dominates(cond, join));
+        assert!(!dom.dominates(t, join)); // join reachable via f too
+        assert_eq!(dom.idom(join), Some(cond));
+        assert!(dom.dominated_by(cond).contains(&join));
+        assert!(!dom.dominated_by(t).contains(&join));
+    }
+
+    #[test]
+    fn rpo_tolerates_loops() {
+        let mut b = ProgramBuilder::new();
+        let k = b.named_reg("k");
+        b.const_i(k, 0);
+        b.begin_loop();
+        b.iadd_imm(k, k, 1);
+        let c = b.binary("c", OpKind::CmpLt, Operand::Reg(k), Operand::Imm(Value::I(4)));
+        b.end_loop(c);
+        let g = b.finish();
+        let order = reverse_postorder(&g, g.entry);
+        assert_eq!(order.len(), g.reachable().len());
+        let li = g.loop_info.unwrap();
+        let idx = OrderIndex::new(&order);
+        assert!(idx.before(li.head, li.latch));
+        assert!(idx.before(li.latch, li.exit));
+    }
+}

@@ -1,0 +1,146 @@
+//! The §3.4 operation-ordering heuristic.
+//!
+//! > Operation A has higher priority than operation B if one of the
+//! > following are true:
+//! > 1. The longest data dependence chain rooted at A is longer than the
+//! >    longest data dependence chain rooted at B.
+//! > 2. The longest data dependence chains of A and B are equal, but A has
+//! >    more dependents in the data dependence graph than B.
+//! >
+//! > When used for Perfect Pipelining, we add the stipulation that all
+//! > operations from iteration *i* have higher priority than all operations
+//! > from iteration *j > i*.
+//!
+//! Ties beyond that fall back to textual (op id) order, which is also the
+//! paper's implicit tiebreak ("important operations tend to occur textually
+//! before less important ones").
+
+use crate::ddg::{ChainMetrics, Ddg};
+use grip_ir::{Graph, OpId};
+use std::cmp::Ordering;
+
+/// A totally ordered priority; **smaller sorts first = higher priority**.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Priority {
+    /// Iteration tag (Perfect Pipelining stipulation) — ascending.
+    pub iter: u32,
+    /// Negated longest chain — ascending means longest chain first.
+    neg_chain: i64,
+    /// Negated dependent count.
+    neg_dependents: i64,
+    /// Textual order tiebreak (ancestor op id).
+    pub orig: OpId,
+}
+
+/// Priority table derived from a [`Ddg`].
+pub struct RankTable {
+    metrics: ChainMetrics,
+    /// When false (plain compaction, no pipelining), iteration tags are
+    /// ignored.
+    pub iteration_major: bool,
+}
+
+impl RankTable {
+    /// Build ranks for the given dependence graph.
+    pub fn new(ddg: &Ddg, iteration_major: bool) -> RankTable {
+        RankTable { metrics: ddg.chain_metrics(), iteration_major }
+    }
+
+    /// Priority of `op` in graph `g` (duplicated ops inherit their
+    /// ancestor's metrics through `orig`).
+    pub fn priority(&self, g: &Graph, op: OpId) -> Priority {
+        let o = g.op(op);
+        // Ancestor metrics when available (survives duplication); fall back
+        // to the op's own id for tables built on already-transformed graphs.
+        let mut chain = self.metrics.chain(o.orig);
+        let mut deps = self.metrics.dependents(o.orig);
+        if chain == 0 {
+            chain = self.metrics.chain(op);
+            deps = self.metrics.dependents(op);
+        }
+        Priority {
+            iter: if self.iteration_major { o.iter } else { 0 },
+            neg_chain: -(chain as i64),
+            neg_dependents: -(deps as i64),
+            orig: o.orig,
+        }
+    }
+
+    /// `Less` when `a` outranks `b`.
+    pub fn compare(&self, g: &Graph, a: OpId, b: OpId) -> Ordering {
+        self.priority(g, a).cmp(&self.priority(g, b))
+    }
+
+    /// Sort a candidate list by descending priority (best first).
+    pub fn sort(&self, g: &Graph, ops: &mut [OpId]) {
+        ops.sort_by(|&a, &b| self.compare(g, a, b));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grip_ir::{OpKind, Operand, ProgramBuilder, Value};
+
+    #[test]
+    fn chain_length_dominates() {
+        // a -> b -> c chain plus independent d: a first, d last of equals.
+        let mut b = ProgramBuilder::new();
+        let a = b.named_reg("a");
+        b.const_i(a, 1);
+        let b1 = b.binary("b", OpKind::IAdd, Operand::Reg(a), Operand::Imm(Value::I(1)));
+        let _c = b.binary("c", OpKind::IAdd, Operand::Reg(b1), Operand::Imm(Value::I(1)));
+        let d = b.named_reg("d");
+        b.const_i(d, 5);
+        let g = b.finish();
+        let ddg = Ddg::build(&g, g.entry);
+        let ranks = RankTable::new(&ddg, false);
+        let mut ops = ddg.order().to_vec();
+        ranks.sort(&g, &mut ops);
+        // a (chain 3) first; then b (2); c and d have chain 1, c has id order
+        let names: Vec<_> = ops.iter().map(|&o| g.op(o).label().to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn dependents_break_chain_ties() {
+        // x feeds two sinks; y feeds one; both have chain 2.
+        let mut b = ProgramBuilder::new();
+        let x = b.named_reg("x");
+        b.const_i(x, 1);
+        let y = b.named_reg("y");
+        b.const_i(y, 2);
+        let _s1 = b.binary("s1", OpKind::IAdd, Operand::Reg(x), Operand::Imm(Value::I(1)));
+        let _s2 = b.binary("s2", OpKind::IAdd, Operand::Reg(x), Operand::Imm(Value::I(2)));
+        let _s3 = b.binary("s3", OpKind::IAdd, Operand::Reg(y), Operand::Imm(Value::I(3)));
+        let g = b.finish();
+        let ddg = Ddg::build(&g, g.entry);
+        let ranks = RankTable::new(&ddg, false);
+        let ops = ddg.order().to_vec();
+        let (opx, opy) = (ops[0], ops[1]);
+        assert_eq!(ranks.compare(&g, opx, opy), Ordering::Less, "x has more dependents");
+    }
+
+    #[test]
+    fn iteration_major_overrides_chains() {
+        let mut b = ProgramBuilder::new();
+        let a = b.named_reg("a");
+        b.const_i(a, 1);
+        let long = b.binary("l", OpKind::IAdd, Operand::Reg(a), Operand::Imm(Value::I(1)));
+        let _l2 = b.binary("l2", OpKind::IAdd, Operand::Reg(long), Operand::Imm(Value::I(1)));
+        let mut g = b.finish();
+        let ddg = Ddg::build(&g, g.entry);
+        // Tag the long-chain op as iteration 1, the shorter one as 0.
+        let ops = ddg.order().to_vec();
+        g.op_mut(ops[1]).iter = 1;
+        g.op_mut(ops[2]).iter = 0;
+        let ranks = RankTable::new(&ddg, true);
+        assert_eq!(ranks.compare(&g, ops[2], ops[1]), Ordering::Less, "earlier iteration wins");
+        let ranks_plain = RankTable::new(&ddg, false);
+        assert_eq!(
+            ranks_plain.compare(&g, ops[1], ops[2]),
+            Ordering::Less,
+            "without iteration-major, the longer chain wins"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! POST (§4, [Po91]): resource constraints as a post-processing phase.
+//!
+//! > "First, GRiP scheduling is applied with infinite resources to obtain a
+//! > pipelined loop. Second, POST applies resource constraints by breaking
+//! > apart nodes that contain too many operations and allowing further
+//! > percolation to fill any nodes that have become underutilized as a
+//! > result of the breaking."
+//!
+//! Phase 1 runs the Perfect Pipelining stack unconstrained (with unfolded
+//! induction chains — the configuration under which unconstrained
+//! pipelining converges to its natural one-iteration-per-instruction
+//! shape, exactly the behaviour §1 ascribes to unconstrained techniques).
+//! Phase 2 peels the lowest-ranked operations out of over-wide
+//! instructions into spill rows below them, honouring VLIW entry-fetch
+//! semantics (an op may only move down if no op remaining in the row
+//! writes one of its operands — otherwise the *writer* joins the peeled
+//! set), then lets a resource-constrained GRiP pass re-fill the holes.
+
+use grip_analysis::{Ddg, RankTable};
+use grip_core::{schedule_region, GripConfig, Resources};
+use grip_ir::{Graph, NodeId, OpId, RegId, Tree, TreePath};
+use grip_percolate::Ctx;
+use grip_pipeline::{
+    detect, estimate_cpi, fu_lower_bound, perfect_pipeline, steady_rows, PipelineOptions,
+    PipelineReport,
+};
+use std::collections::HashSet;
+
+/// Options for [`post_pipeline`].
+#[derive(Clone, Copy, Debug)]
+pub struct PostOptions {
+    /// Unwind factor for the unconstrained phase.
+    pub unwind: usize,
+    /// Functional units applied in the post-pass.
+    pub fus: usize,
+    /// Incremental dead-code removal.
+    pub dce: bool,
+}
+
+/// Run the two-phase POST pipeline on the canonical loop of `g`, in place.
+/// The result reports the *post-pass* steady state.
+pub fn post_pipeline(g: &mut Graph, opts: PostOptions) -> PipelineReport {
+    // Phase 1: unconstrained pipelining.
+    let p1 = perfect_pipeline(
+        g,
+        PipelineOptions {
+            unwind: opts.unwind,
+            resources: Resources::UNLIMITED,
+            fold_inductions: false,
+            gap_prevention: true,
+            dce: opts.dce,
+            try_roll: false,
+        },
+    );
+    let window = p1.window;
+    let mut region = p1.region;
+
+    // Phase 2a: break over-wide instructions.
+    let ddg = Ddg::build(g, g.entry);
+    let mut ctx = Ctx::new(g, &ddg);
+    let ranks = RankTable::new(&ddg, true);
+    break_rows(g, &ranks, &mut region, opts.fus);
+    ctx.refresh(g);
+
+    // Phase 2b: constrained re-percolation fills the holes.
+    let cfg = GripConfig {
+        resources: Resources::vliw(opts.fus),
+        gap_prevention: true,
+        dce: opts.dce,
+        speculation: Default::default(),
+        trace: false,
+    };
+    let out = schedule_region(g, &mut ctx, &ranks, cfg, region);
+
+    let steady = steady_rows(g, &out.region, window.head);
+    let pattern = detect(g, &window, &steady);
+    let cpi_estimate = estimate_cpi(g, &window, &steady)
+        .map(|c| fu_lower_bound(g, &window, &steady, opts.fus).map_or(c, |b| c.max(b)));
+    PipelineReport {
+        window,
+        stats: out.stats,
+        region: out.region,
+        steady,
+        pattern,
+        cpi_estimate,
+        rolled: None,
+    }
+}
+
+/// Split every region row holding more than `fus` ordinary operations.
+/// Returns the number of spill rows created.
+pub fn break_rows(
+    g: &mut Graph,
+    ranks: &RankTable,
+    region: &mut Vec<NodeId>,
+    fus: usize,
+) -> usize {
+    let mut created = 0;
+    let mut i = 0;
+    while i < region.len() {
+        let row = region[i];
+        if !g.node_exists(row) {
+            region.remove(i);
+            continue;
+        }
+        if g.node_op_count(row) <= fus {
+            i += 1;
+            continue;
+        }
+        // Ops by descending priority; the lowest-ranked overflow peels off.
+        let mut ops: Vec<OpId> = g
+            .node_ops(row)
+            .into_iter()
+            .map(|(_, o)| o)
+            .filter(|&o| !g.op(o).kind.is_cj())
+            .collect();
+        ranks.sort(g, &mut ops);
+        let mut peel: HashSet<OpId> = ops[fus..].iter().copied().collect();
+        // Entry-fetch closure: if a peeled op reads a register written by a
+        // remaining op, that writer must be peeled too (its old value would
+        // otherwise be destroyed before the moved read).
+        loop {
+            let remaining_writes: Vec<(RegId, OpId)> = ops
+                .iter()
+                .filter(|o| !peel.contains(o))
+                .filter_map(|&o| g.op(o).dest.map(|d| (d, o)))
+                .collect();
+            let mut grew = false;
+            for &s in peel.clone().iter() {
+                for rr in g.op(s).reads() {
+                    if let Some(&(_, w)) = remaining_writes.iter().find(|&&(d, _)| d == rr) {
+                        if peel.insert(w) {
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        if peel.is_empty() || peel.len() == ops.len() && g.node_op_count(row) <= fus {
+            i += 1;
+            continue;
+        }
+        // Spill each peeled op onto every outgoing path below its guard
+        // position (ops at branch positions must keep committing on all
+        // their paths, so residues are duplicated per path).
+        let mut spills: Vec<(TreePath, NodeId)> = Vec::new();
+        for op in peel {
+            let pos = match g.node(row).tree.position_of(op) {
+                Some(p) => p,
+                None => continue,
+            };
+            let leaves: Vec<(TreePath, Option<NodeId>)> = g
+                .node(row)
+                .tree
+                .leaves()
+                .into_iter()
+                .filter(|&(l, _)| pos.is_prefix_of(l))
+                .collect();
+            g.remove_op_from(row, op);
+            let mut placed_original = false;
+            for (leaf, _) in leaves {
+                let spill = match spills.iter().find(|&&(l, _)| l == leaf) {
+                    Some(&(_, n)) => n,
+                    None => {
+                        let succ = match g.node(row).tree.get(leaf) {
+                            Some(Tree::Leaf { succ, .. }) => *succ,
+                            _ => None,
+                        };
+                        let n = g.add_node(Tree::leaf(succ));
+                        g.set_succ(row, leaf, Some(n));
+                        spills.push((leaf, n));
+                        created += 1;
+                        // Insert after the row, keeping region order.
+                        region.insert((i + 1).min(region.len()), n);
+                        n
+                    }
+                };
+                if placed_original {
+                    let dup = g.dup_op(op);
+                    g.insert_op_at(spill, TreePath::ROOT, dup);
+                } else {
+                    g.insert_op_at(spill, TreePath::ROOT, op);
+                    placed_original = true;
+                }
+            }
+        }
+        // Revisit the same row (it may still be over-wide) and then the
+        // spill rows in order.
+    }
+    created
+}

@@ -1,0 +1,160 @@
+//! Baseline behaviour: Unifiable-ops schedules are semantically exact and
+//! pack like GRiP on simple code; POST is semantically exact and never
+//! beats GRiP on the pipelined kernels (Table 1's qualitative claim).
+
+use grip_analysis::{Ddg, RankTable};
+use grip_baselines::{post_pipeline, schedule_unifiable, PostOptions};
+use grip_core::{schedule_region, GripConfig, Resources};
+use grip_ir::{Graph, OpKind, Operand, ProgramBuilder};
+use grip_kernels::{default_init, kernels};
+use grip_percolate::Ctx;
+use grip_pipeline::{perfect_pipeline, PipelineOptions};
+use grip_vm::{EquivReport, Machine};
+
+fn mixed_program(independents: usize) -> Graph {
+    let mut b = ProgramBuilder::new();
+    let mut regs = Vec::new();
+    for i in 0..independents {
+        let r = b.named_reg(&format!("c{i}"));
+        b.const_i(r, i as i64);
+        regs.push(r);
+    }
+    let mut acc = b.named_reg("acc");
+    b.const_i(acc, 0);
+    for (i, &r) in regs.iter().enumerate() {
+        acc = b.binary(&format!("s{i}"), OpKind::IAdd, Operand::Reg(acc), Operand::Reg(r));
+    }
+    b.live_out(acc);
+    b.finish()
+}
+
+#[test]
+fn unifiable_preserves_semantics_and_respects_width() {
+    for fus in [2usize, 4] {
+        let g0 = mixed_program(6);
+        let mut g = g0.clone();
+        let ddg = Ddg::build(&g, g.entry);
+        let mut ctx = Ctx::new(&g, &ddg);
+        let ranks = RankTable::new(&ddg, false);
+        let region = g.reachable();
+        let (stats, _) =
+            schedule_unifiable(&mut g, &mut ctx, &ranks, Resources::vliw(fus), region);
+        g.validate().unwrap();
+        assert!(stats.arrivals > 0);
+        assert!(stats.membership_tests >= stats.arrivals);
+        for n in g.reachable() {
+            assert!(g.node_op_count(n) <= fus);
+        }
+        let mut m0 = Machine::for_graph(&g0);
+        m0.run(&g0).unwrap();
+        let mut m1 = Machine::for_graph(&g);
+        m1.run(&g).unwrap();
+        assert!(EquivReport::compare(&g0, &m0, &m1).is_equal());
+    }
+}
+
+#[test]
+fn unifiable_membership_walks_dominate_grip_bookkeeping() {
+    // The §3.1 cost claim, in miniature: on the same input, Unifiable-ops
+    // walks far more node-steps for its sets than GRiP performs hops.
+    let g0 = mixed_program(10);
+    let mut gu = g0.clone();
+    let ddg = Ddg::build(&gu, gu.entry);
+    let mut ctx = Ctx::new(&gu, &ddg);
+    let ranks = RankTable::new(&ddg, false);
+    let region = gu.reachable();
+    let (ustats, _) = schedule_unifiable(&mut gu, &mut ctx, &ranks, Resources::vliw(4), region);
+
+    let mut gg = g0.clone();
+    let ddg2 = Ddg::build(&gg, gg.entry);
+    let mut ctx2 = Ctx::new(&gg, &ddg2);
+    let ranks2 = RankTable::new(&ddg2, false);
+    let region2 = gg.reachable();
+    let out = schedule_region(
+        &mut gg,
+        &mut ctx2,
+        &ranks2,
+        GripConfig {
+            resources: Resources::vliw(4),
+            gap_prevention: false,
+            dce: false,
+            speculation: Default::default(),
+            trace: false,
+        },
+        region2,
+    );
+    assert!(
+        ustats.nodes_walked > out.stats.hops,
+        "unifiable walked {} nodes vs {} GRiP hops",
+        ustats.nodes_walked,
+        out.stats.hops
+    );
+}
+
+#[test]
+fn post_is_exact_and_never_beats_grip() {
+    // A representative subset across dependence classes (full sweep lives
+    // in the bench harness).
+    let names = ["LL1", "LL3", "LL5", "LL12"];
+    let n = if cfg!(debug_assertions) { 20 } else { 48 };
+    for k in kernels().iter().filter(|k| names.contains(&k.name)) {
+        for fus in [2usize, 4] {
+            let g0 = (k.build)(n);
+
+            let mut g_grip = g0.clone();
+            let grip = perfect_pipeline(
+                &mut g_grip,
+                PipelineOptions {
+                    unwind: 2 * fus.min(8),
+                    resources: Resources::vliw(fus),
+                    fold_inductions: true,
+                    gap_prevention: true,
+                    dce: true,
+                    try_roll: false,
+                },
+            );
+
+            let mut g_post = g0.clone();
+            let post = post_pipeline(&mut g_post, PostOptions { unwind: 2 * fus.min(8), fus, dce: true });
+            g_post.validate().unwrap();
+
+            // POST stays semantically exact.
+            let mut m0 = Machine::for_graph(&g0);
+            default_init(&g0, &mut m0, n);
+            m0.run(&g0).unwrap();
+            let mut m1 = Machine::for_graph(&g_post);
+            default_init(&g_post, &mut m1, n);
+            m1.run(&g_post).unwrap();
+            let rep = EquivReport::compare(&g0, &m0, &m1);
+            assert!(rep.is_equal(), "{} fus={fus}: POST diverged: {rep:?}", k.name);
+
+            // And never beats GRiP by more than noise (Table 1's claim is
+            // GRiP >= POST everywhere).
+            let (sg, sp) = (grip.speedup(), post.speedup());
+            if let (Some(sg), Some(sp)) = (sg, sp) {
+                assert!(
+                    sg >= sp - 0.35,
+                    "{} fus={fus}: POST {sp:.2} unexpectedly beats GRiP {sg:.2}",
+                    k.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn post_breaking_respects_width_on_steady_rows() {
+    let k = kernels().iter().find(|k| k.name == "LL1").unwrap();
+    let n = if cfg!(debug_assertions) { 20 } else { 48 };
+    let mut g = (k.build)(n);
+    let post = post_pipeline(&mut g, PostOptions { unwind: 8, fus: 4, dce: true });
+    for &row in &post.steady {
+        if g.node_exists(row) {
+            assert!(
+                g.node_op_count(row) <= 4,
+                "steady row {row} holds {} ops",
+                g.node_op_count(row)
+            );
+        }
+    }
+}

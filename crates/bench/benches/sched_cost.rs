@@ -1,0 +1,79 @@
+//! The paper's efficiency claim (§1, §3.1): GRiP's trivially-maintained
+//! Moveable-ops sets vs the Unifiable-ops technique's per-pick membership
+//! walks. Measures wall-clock scheduling time on identical inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grip_analysis::{Ddg, RankTable};
+use grip_baselines::schedule_unifiable;
+use grip_core::{schedule_region, GripConfig, Resources};
+use grip_ir::Graph;
+use grip_kernels::kernels;
+use grip_percolate::Ctx;
+use grip_pipeline::{simplify_inductions, unwind};
+
+/// Unwound, simplified window for a kernel, ready for scheduling.
+fn prep(name: &str, u: usize) -> (Graph, Vec<grip_ir::NodeId>) {
+    let k = kernels().iter().find(|k| k.name == name).unwrap();
+    let mut g = (k.build)(64);
+    let w = unwind(&mut g, u);
+    simplify_inductions(&mut g, &w.rows);
+    (g, w.rows)
+}
+
+fn bench_sched_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_cost");
+    for (kernel, u) in [("LL1", 6), ("LL7", 4), ("LL12", 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("grip", format!("{kernel}_u{u}")),
+            &(kernel, u),
+            |b, &(kernel, u)| {
+                b.iter_batched(
+                    || prep(kernel, u),
+                    |(mut g, rows)| {
+                        let ddg = Ddg::build(&g, g.entry);
+                        let mut ctx = Ctx::new(&g, &ddg);
+                        let ranks = RankTable::new(&ddg, true);
+                        schedule_region(
+                            &mut g,
+                            &mut ctx,
+                            &ranks,
+                            GripConfig {
+                                resources: Resources::vliw(4),
+                                gap_prevention: true,
+                                dce: true,
+                                speculation: Default::default(),
+                                trace: false,
+                            },
+                            rows,
+                        )
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unifiable", format!("{kernel}_u{u}")),
+            &(kernel, u),
+            |b, &(kernel, u)| {
+                b.iter_batched(
+                    || prep(kernel, u),
+                    |(mut g, rows)| {
+                        let ddg = Ddg::build(&g, g.entry);
+                        let mut ctx = Ctx::new(&g, &ddg);
+                        let ranks = RankTable::new(&ddg, true);
+                        schedule_unifiable(&mut g, &mut ctx, &ranks, Resources::vliw(4), rows)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sched_cost
+}
+criterion_main!(benches);

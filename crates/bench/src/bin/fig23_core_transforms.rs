@@ -1,0 +1,64 @@
+//! Regenerate **Figures 2 and 3**: the `move-op` and `move-cj` core
+//! transformations, shown as before/after program graphs.
+
+use grip_analysis::Ddg;
+use grip_ir::{Graph, OpKind, Operand, Operation, Tree, TreePath, Value};
+use grip_percolate::{move_cj, move_op, Ctx};
+
+fn main() {
+    // ----- Figure 2: move-op -------------------------------------------
+    let mut g = Graph::new();
+    let x = g.named_reg("x");
+    let y = g.named_reg("y");
+    let op_x = g.add_op(Operation::new(OpKind::Copy, Some(x), vec![Operand::Imm(Value::I(1))]));
+    let op_y = g.add_op(Operation::new(
+        OpKind::IAdd,
+        Some(y),
+        vec![Operand::Imm(Value::I(2)), Operand::Imm(Value::I(3))],
+    ));
+    let from = g.add_node(Tree::Leaf { ops: vec![op_y], succ: None });
+    let to = g.add_node(Tree::Leaf { ops: vec![op_x], succ: Some(from) });
+    g.set_succ(g.entry, TreePath::ROOT, Some(to));
+    g.live_out = vec![x, y];
+    println!("Figure 2: move-op(From={from}, To={to}, Op={op_y}, Path=root)\n");
+    println!("BEFORE:\n{}", grip_ir::print::dump(&g));
+    let ddg = Ddg::build(&g, g.entry);
+    let mut ctx = Ctx::new(&g, &ddg);
+    move_op(&mut g, &mut ctx, from, to, op_y, TreePath::ROOT).expect("legal");
+    g.validate().unwrap();
+    println!("AFTER:\n{}", grip_ir::print::dump(&g));
+
+    // ----- Figure 3: move-cj -------------------------------------------
+    let mut g = Graph::new();
+    let c = g.named_reg("c");
+    let a = g.named_reg("a");
+    let t = g.named_reg("t");
+    let f_ = g.named_reg("f");
+    let cj = g.add_op(Operation::new(OpKind::CondJump, None, vec![Operand::Reg(c)]));
+    let op_a = g.add_op(Operation::new(OpKind::Copy, Some(a), vec![Operand::Imm(Value::I(7))]));
+    let op_t = g.add_op(Operation::new(OpKind::Copy, Some(t), vec![Operand::Imm(Value::I(1))]));
+    let op_f = g.add_op(Operation::new(OpKind::Copy, Some(f_), vec![Operand::Imm(Value::I(2))]));
+    let st = g.add_node(Tree::Leaf { ops: vec![op_t], succ: None });
+    let sf = g.add_node(Tree::Leaf { ops: vec![op_f], succ: None });
+    let from = g.add_node(Tree::Branch {
+        ops: vec![op_a],
+        cj,
+        on_true: Box::new(Tree::leaf(Some(st))),
+        on_false: Box::new(Tree::leaf(Some(sf))),
+    });
+    let to = g.add_node(Tree::leaf(Some(from)));
+    g.set_succ(g.entry, TreePath::ROOT, Some(to));
+    g.live_out = vec![a, t, f_];
+    println!("\nFigure 3: move-cj(From={from}, To={to}, CJ={cj}, Path=root)\n");
+    println!("BEFORE:\n{}", grip_ir::print::dump(&g));
+    let ddg = Ddg::build(&g, g.entry);
+    let mut ctx = Ctx::new(&g, &ddg);
+    let out = move_cj(&mut g, &mut ctx, from, to, cj, TreePath::ROOT).expect("legal");
+    g.validate().unwrap();
+    println!(
+        "AFTER (true residue {}, false residue {} -- root op duplicated into both):\n{}",
+        out.true_residue,
+        out.false_residue,
+        grip_ir::print::dump(&g)
+    );
+}

@@ -1,0 +1,689 @@
+//! The GRiP scheduler (Figures 10 and 12).
+//!
+//! A node is scheduled by repeatedly choosing the highest-ranked operation
+//! from its *Moveable-ops* set — every operation on the subgraph below it
+//! that has not been frozen — and migrating it upward one instruction at a
+//! time. Operations that cannot reach the node are left wherever they got
+//! to (partial compaction of the subgraph below, the key difference from
+//! Unifiable-ops scheduling); full intermediate nodes simply stop them
+//! (resource barriers, §3.2, tolerated by design).
+//!
+//! With gap prevention enabled (§3.3), every single hop is guarded by the
+//! `Gapless-move` test and the three suspension rules, which is what makes
+//! Perfect Pipelining converge.
+
+use crate::resources::Resources;
+use grip_analysis::RankTable;
+use grip_ir::{Graph, NodeId, OpId, TreePath};
+use grip_percolate::{
+    apply_move_cj, apply_move_op, plan_move_cj, plan_move_op, propagate_copies, remove_if_dead,
+    try_delete_empty, Ctx, MoveFail,
+};
+use std::collections::{HashMap, HashSet};
+
+/// When may an operation move *speculatively* (past a conditional it was
+/// guarded by)?
+///
+/// §1: "when a large number of resources are currently available, it would
+/// be worthwhile to allow the speculative scheduling of operations; on the
+/// other hand, with only a few resources, it might be better to prohibit
+/// it until all non-speculative operations have been scheduled." The paper
+/// itself always allows speculation ("Without speculative scheduling
+/// heuristics, GRiP always allows speculative scheduling") — that is the
+/// default — but the heuristic is "completely abstracted away from the
+/// actual transformations", which this policy type reproduces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Speculation {
+    /// The paper's behaviour: speculation is always allowed.
+    #[default]
+    Always,
+    /// Never move an operation past a guarding conditional.
+    Never,
+    /// Allow speculation only while the target instruction still has at
+    /// least this many free functional-unit slots — scarce slots are
+    /// reserved for non-speculative work.
+    WhenSlotsFree(usize),
+}
+
+impl Speculation {
+    fn allows(self, free_slots: usize) -> bool {
+        match self {
+            Speculation::Always => true,
+            Speculation::Never => false,
+            Speculation::WhenSlotsFree(m) => free_slots >= m,
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GripConfig {
+    /// Machine resources.
+    pub resources: Resources,
+    /// Enable the §3.3 gap prediction and prevention facility.
+    pub gap_prevention: bool,
+    /// Remove dead operations incrementally while scheduling (§4).
+    pub dce: bool,
+    /// Speculative-motion policy (see [`Speculation`]).
+    pub speculation: Speculation,
+    /// Record [`TraceEvent`]s (used by the figure-regeneration binaries).
+    pub trace: bool,
+}
+
+impl Default for GripConfig {
+    fn default() -> Self {
+        GripConfig {
+            resources: Resources::UNLIMITED,
+            gap_prevention: true,
+            dce: true,
+            speculation: Speculation::Always,
+            trace: false,
+        }
+    }
+}
+
+/// Counters describing one scheduling run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Successful single-instruction hops.
+    pub hops: u64,
+    /// Operations that reached the node being scheduled.
+    pub arrivals: u64,
+    /// Renamings performed (compensation copies inserted).
+    pub renames: u64,
+    /// Node splits (multi-predecessor copies).
+    pub splits: u64,
+    /// Gap-prevention suspensions.
+    pub suspensions: u64,
+    /// Moves rejected by the Gapless-move test.
+    pub gap_rejections: u64,
+    /// Hops rejected because the target instruction was full.
+    pub resource_blocks: u64,
+    /// Dead operations removed during scheduling.
+    pub dce_removed: u64,
+    /// Empty instructions deleted.
+    pub nodes_deleted: u64,
+    /// Candidate-selection rounds.
+    pub picks: u64,
+    /// Speculative hops vetoed by the speculation policy.
+    pub speculation_vetoes: u64,
+}
+
+/// One event of a traced schedule.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// Scheduling moved on to a new node.
+    Node(NodeId),
+    /// `op` hopped from `from` into `to` (`arrived` = `to` is the node
+    /// being scheduled).
+    Hop {
+        /// The moved operation.
+        op: OpId,
+        /// Source instruction.
+        from: NodeId,
+        /// Target instruction.
+        to: NodeId,
+        /// Whether this hop completed the migration.
+        arrived: bool,
+    },
+    /// `op` was suspended by gap prevention while sitting in `at`.
+    Suspend {
+        /// The suspended operation.
+        op: OpId,
+        /// Where it was suspended.
+        at: NodeId,
+    },
+    /// All suspensions lifted after a successful move.
+    Unsuspend,
+}
+
+/// Result of scheduling a region.
+#[derive(Debug)]
+pub struct ScheduleOutput {
+    /// Counters.
+    pub stats: ScheduleStats,
+    /// Trace (empty unless `cfg.trace`).
+    pub trace: Vec<TraceEvent>,
+    /// The region's surviving nodes, in schedule order.
+    pub region: Vec<NodeId>,
+}
+
+/// How far a migration got.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Migrated {
+    /// Reached the node being scheduled.
+    Arrived,
+    /// Moved at least one hop but stopped short.
+    Partial,
+    /// Could not move at all (dependence or resource block).
+    Stuck(StuckReason),
+    /// Gap prevention suspended the op mid-flight.
+    Suspended,
+    /// A hop succeeded while suspensions were pending: return to re-rank
+    /// (Figure 12's early return).
+    YieldAfterMove,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StuckReason {
+    Dependence,
+    Resources,
+    NoPath,
+}
+
+/// The GRiP scheduling engine for one region (an unwound loop window or a
+/// whole acyclic program fragment), in top-down order.
+pub struct Grip<'g, 'a> {
+    g: &'g mut Graph,
+    ctx: &'g mut Ctx<'a>,
+    ranks: &'g RankTable,
+    cfg: GripConfig,
+    region: Vec<NodeId>,
+    pos: HashMap<NodeId, usize>,
+    suspended: HashMap<OpId, ()>,
+    stats: ScheduleStats,
+    trace: Vec<TraceEvent>,
+}
+
+impl<'g, 'a> Grip<'g, 'a> {
+    /// Create a scheduler over `region` (topological order, first node
+    /// scheduled first).
+    pub fn new(
+        g: &'g mut Graph,
+        ctx: &'g mut Ctx<'a>,
+        ranks: &'g RankTable,
+        cfg: GripConfig,
+        region: Vec<NodeId>,
+    ) -> Self {
+        let pos = region.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        Grip {
+            g,
+            ctx,
+            ranks,
+            cfg,
+            region,
+            pos,
+            suspended: HashMap::new(),
+            stats: ScheduleStats::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Run the full top-down schedule (Figure 10 / Figure 12).
+    pub fn run(mut self) -> ScheduleOutput {
+        let mut i = 0;
+        while i < self.region.len() {
+            let n = self.region[i];
+            if !self.g.node_exists(n) {
+                self.remove_from_region(n);
+                continue;
+            }
+            if self.cfg.trace {
+                self.trace.push(TraceEvent::Node(n));
+            }
+            self.schedule_node(n);
+            self.suspended.clear();
+            if self.cfg.dce {
+                self.dce_sweep();
+            } else {
+                self.ctx.refresh(self.g);
+            }
+            self.cleanup_empty_below(i);
+            i = self.pos.get(&n).map(|&p| p + 1).unwrap_or(i);
+        }
+        ScheduleOutput { stats: self.stats, trace: self.trace, region: self.region }
+    }
+
+    /// `procedure schedule(n)`: fill `n` with the best moveable operations.
+    fn schedule_node(&mut self, n: NodeId) {
+        // Ops that failed for dependence reasons are frozen for this node;
+        // resource-blocked ops are retried after any successful move.
+        let mut dep_skip: HashSet<OpId> = HashSet::new();
+        let mut res_skip: HashSet<OpId> = HashSet::new();
+        loop {
+            if self.cfg.resources.exhausted(self.g, n) {
+                break;
+            }
+            self.stats.picks += 1;
+            let Some(op) = self.pick_candidate(n, &dep_skip, &res_skip) else { break };
+            let hops_before = self.stats.hops;
+            let mut suspended_now = false;
+            match self.migrate(n, op) {
+                Migrated::Arrived => {
+                    self.stats.arrivals += 1;
+                    self.after_successful_move();
+                }
+                Migrated::YieldAfterMove => {
+                    // Re-rank: unsuspended ops may now outrank everything.
+                }
+                Migrated::Partial => {
+                    self.after_successful_move();
+                    // It moved but cannot reach n (for now): freeze for n.
+                    dep_skip.insert(op);
+                }
+                Migrated::Stuck(StuckReason::Resources) => {
+                    res_skip.insert(op);
+                }
+                Migrated::Stuck(_) => {
+                    dep_skip.insert(op);
+                }
+                Migrated::Suspended => {
+                    // Rule 1: wait until the test can pass again.
+                    suspended_now = true;
+                }
+            }
+            // Any successful motion changes the resource picture: retry
+            // resource-blocked ops.
+            if self.stats.hops > hops_before {
+                res_skip.clear();
+            }
+            // Deadlock guard: a suspension with no other moveable op below
+            // would spin — treat the op as frozen for this node.
+            if suspended_now
+                && self
+                    .pick_candidate(n, &dep_skip, &res_skip)
+                    .is_none()
+            {
+                self.suspended.remove(&op);
+                dep_skip.insert(op);
+            }
+        }
+    }
+
+    /// Highest-priority op placed strictly below `n` in the region,
+    /// honouring suspension rule 3 and the skip sets.
+    fn pick_candidate(
+        &mut self,
+        n: NodeId,
+        dep_skip: &HashSet<OpId>,
+        res_skip: &HashSet<OpId>,
+    ) -> Option<OpId> {
+        let npos = self.pos[&n];
+        // Rule 3: with pending suspensions only ops strictly below the
+        // lowest (deepest) suspended op may move.
+        let floor = if self.suspended.is_empty() {
+            npos
+        } else {
+            self.suspended
+                .keys()
+                .filter_map(|&o| self.g.placement(o))
+                .filter_map(|m| self.pos.get(&m).copied())
+                .max()
+                .unwrap_or(npos)
+        };
+        let mut best: Option<(grip_analysis::Priority, OpId)> = None;
+        let mut dead: Vec<(NodeId, OpId)> = Vec::new();
+        for idx in (floor.max(npos) + 1)..self.region.len() {
+            let m = self.region[idx];
+            if !self.g.node_exists(m) {
+                continue;
+            }
+            for (_, op) in self.g.node_ops(m) {
+                if dep_skip.contains(&op)
+                    || res_skip.contains(&op)
+                    || self.suspended.contains_key(&op)
+                {
+                    continue;
+                }
+                if self.cfg.dce {
+                    let o = self.g.op(op);
+                    if o.dest.is_some()
+                        && !o.kind.is_cj()
+                        && self.ctx.lv.dest_is_dead(self.g, m, op, o.dest.expect("checked"))
+                    {
+                        dead.push((m, op));
+                        continue;
+                    }
+                }
+                let p = self.ranks.priority(self.g, op);
+                if best.map(|(bp, _)| p < bp).unwrap_or(true) {
+                    best = Some((p, op));
+                }
+            }
+        }
+        for (m, op) in dead {
+            if self.g.node_exists(m) && remove_if_dead(self.g, self.ctx, m, op) {
+                self.stats.dce_removed += 1;
+            }
+        }
+        best.map(|(_, op)| op)
+    }
+
+    /// Migrate `op` toward `n` one instruction at a time (`migrate`, Figure
+    /// 12). Each hop re-checks resources, legality, and — when enabled —
+    /// the Gapless-move test.
+    fn migrate(&mut self, n: NodeId, op: OpId) -> Migrated {
+        let mut progressed = false;
+        loop {
+            let Some(cur) = self.g.placement(op) else {
+                return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::NoPath) };
+            };
+            if cur == n {
+                return Migrated::Arrived;
+            }
+            // No op leaves a node that holds a suspended op (nothing may
+            // pass a suspended operation).
+            if self.cfg.gap_prevention
+                && self
+                    .suspended
+                    .keys()
+                    .any(|&s| s != op && self.g.placement(s) == Some(cur))
+            {
+                return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::Dependence) };
+            }
+            let Some((parent, path)) = self.parent_toward(n, cur) else {
+                return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::NoPath) };
+            };
+            // Rule 3: never land above the deepest suspended op.
+            if self.cfg.gap_prevention && !self.suspended.is_empty() {
+                let deepest = self
+                    .suspended
+                    .keys()
+                    .filter_map(|&o| self.g.placement(o))
+                    .filter_map(|m| self.pos.get(&m).copied())
+                    .max();
+                if let Some(dp) = deepest {
+                    if self.pos.get(&parent).copied().unwrap_or(usize::MAX) < dp {
+                        return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::Dependence) };
+                    }
+                }
+            }
+            if !self.cfg.resources.has_room(self.g, parent, op) {
+                self.stats.resource_blocks += 1;
+                return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::Resources) };
+            }
+            if self.cfg.gap_prevention && !self.gapless_move(cur, parent, op) {
+                self.stats.gap_rejections += 1;
+                self.stats.suspensions += 1;
+                self.suspended.insert(op, ());
+                if self.cfg.trace {
+                    self.trace.push(TraceEvent::Suspend { op, at: cur });
+                }
+                return Migrated::Suspended;
+            }
+            let moved = self.hop(cur, parent, op, path);
+            match moved {
+                Ok(()) => {
+                    progressed = true;
+                    if self.cfg.trace {
+                        self.trace.push(TraceEvent::Hop {
+                            op,
+                            from: cur,
+                            to: parent,
+                            arrived: parent == n,
+                        });
+                    }
+                    // Figure 12: once something moved while ops are
+                    // suspended, return so the scheduler re-ranks.
+                    if !self.suspended.is_empty() {
+                        self.unsuspend_all();
+                        return Migrated::YieldAfterMove;
+                    }
+                }
+                Err(_) => {
+                    return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::Dependence) };
+                }
+            }
+        }
+    }
+
+    /// Execute one legality-checked hop `cur -> parent`.
+    fn hop(&mut self, cur: NodeId, parent: NodeId, op: OpId, path: TreePath) -> Result<(), MoveFail> {
+        let is_cj = self.g.op(op).kind.is_cj();
+        if is_cj {
+            let plan = plan_move_cj(self.g, self.ctx, cur, parent, op, path, None)?;
+            let out = apply_move_cj(self.g, self.ctx, cur, parent, op, path, &plan);
+            if let Some(split) = out.split {
+                self.insert_region_after(cur, split);
+                self.stats.splits += 1;
+            }
+            self.insert_region_after(out.true_residue, out.false_residue);
+            // Residues may have emptied out.
+            for r in [out.true_residue, out.false_residue] {
+                self.try_delete(r);
+            }
+        } else {
+            let plan = plan_move_op(self.g, self.ctx, cur, parent, op, path, None)?;
+            // Refuse to rename copies: a compensation copy of a copy can
+            // regress forever; leaving the copy in place costs one slot.
+            if plan.needs_rename && self.g.op(op).kind == grip_ir::OpKind::Copy {
+                return Err(MoveFail::TrueDep { reader: op, writer: op });
+            }
+            // Speculation policy (§1): a speculative hop may be vetoed when
+            // slots are scarce.
+            if plan.speculative {
+                let free = self
+                    .cfg
+                    .resources
+                    .fus
+                    .saturating_sub(self.g.node_op_count(parent));
+                if !self.cfg.speculation.allows(free) {
+                    self.stats.speculation_vetoes += 1;
+                    return Err(MoveFail::SpeculativeStore);
+                }
+            }
+            let out = apply_move_op(self.g, self.ctx, cur, parent, op, path, &plan);
+            if out.renamed.is_some() {
+                self.stats.renames += 1;
+            }
+            if let Some(split) = out.split {
+                self.insert_region_after(cur, split);
+                self.stats.splits += 1;
+            }
+            self.try_delete(cur);
+        }
+        self.stats.hops += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Gap prevention (§3.3)
+    // ------------------------------------------------------------------
+
+    /// The Gapless-move test (§3.3): may `op` leave `from` (for the node
+    /// above) without ever creating a permanent gap?
+    fn gapless_move(&self, from: NodeId, _to: NodeId, op: OpId) -> bool {
+        let mut visited = HashSet::new();
+        self.gapless_rec(from, op, &mut visited)
+    }
+
+    fn gapless_rec(&self, from: NodeId, op: OpId, visited: &mut HashSet<NodeId>) -> bool {
+        if !visited.insert(from) {
+            return false;
+        }
+        let ops = self.g.node_ops(from);
+        // Condition 1: the op is alone — the node dies with its departure.
+        if ops.len() == 1 {
+            return true;
+        }
+        let it = self.g.op(op).iter;
+        // Condition 2: another op of the same iteration stays behind.
+        if ops.iter().filter(|&&(_, o)| self.g.op(o).iter == it).count() >= 2 {
+            return true;
+        }
+        // Condition 3: no same-iteration op below `from` — op is the last of
+        // its iteration, nothing to gap against.
+        if !self.iteration_below(from, it) {
+            return true;
+        }
+        // Condition 4: some same-iteration op X in a successor S could move
+        // into `from` once op has left ("given that Op succeeded in moving
+        // to To"), and X's own departure from S is gapless (Theorem 1's
+        // induction).
+        for s in self.region_successors(from) {
+            let paths = self.g.node(from).tree.leaf_paths_to(s);
+            for (_, x) in self.g.node_ops(s) {
+                if x == op || self.g.op(x).iter != it {
+                    continue;
+                }
+                for &p in &paths {
+                    let plan_ok = if self.g.op(x).kind.is_cj() {
+                        plan_move_cj(self.g, self.ctx, s, from, x, p, Some(op)).is_ok()
+                    } else {
+                        plan_move_op(self.g, self.ctx, s, from, x, p, Some(op)).is_ok()
+                    };
+                    if plan_ok && self.gapless_rec(s, x, visited) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Does any node strictly below `from` (region successors, transitive)
+    /// hold an op of iteration `it`?
+    fn iteration_below(&self, from: NodeId, it: u32) -> bool {
+        let mut stack: Vec<NodeId> = self.region_successors(from);
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        while let Some(m) = stack.pop() {
+            if !seen.insert(m) {
+                continue;
+            }
+            if self.g.node_ops(m).iter().any(|&(_, o)| self.g.op(o).iter == it) {
+                return true;
+            }
+            stack.extend(self.region_successors(m));
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Successors of `m` inside the region, forward edges only (the back
+    /// edge from the window latch to its head is ignored).
+    fn region_successors(&self, m: NodeId) -> Vec<NodeId> {
+        let mp = match self.pos.get(&m) {
+            Some(&p) => p,
+            None => return Vec::new(),
+        };
+        self.g
+            .unique_successors(m)
+            .into_iter()
+            .filter(|s| self.pos.get(s).is_some_and(|&sp| sp > mp))
+            .collect()
+    }
+
+    /// The last edge of some forward path `n -> ... -> cur` (DFS), i.e. the
+    /// node to hop `op` into next, with the leaf path reaching `cur`.
+    fn parent_toward(&self, n: NodeId, cur: NodeId) -> Option<(NodeId, TreePath)> {
+        if !self.g.node_exists(n) {
+            return None;
+        }
+        // DFS from n; find any node whose successor set contains cur.
+        let mut stack = vec![n];
+        let mut seen = HashSet::new();
+        while let Some(m) = stack.pop() {
+            if !seen.insert(m) {
+                continue;
+            }
+            let succs = self.region_successors(m);
+            if succs.contains(&cur) {
+                let paths = self.g.node(m).tree.leaf_paths_to(cur);
+                if let Some(&p) = paths.first() {
+                    return Some((m, p));
+                }
+            }
+            stack.extend(succs);
+        }
+        None
+    }
+
+    fn after_successful_move(&mut self) {
+        if !self.suspended.is_empty() {
+            self.unsuspend_all();
+        }
+    }
+
+    fn unsuspend_all(&mut self) {
+        self.suspended.clear();
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Unsuspend);
+        }
+    }
+
+    fn insert_region_after(&mut self, anchor: NodeId, new_node: NodeId) {
+        if self.pos.contains_key(&new_node) {
+            return;
+        }
+        let at = self.pos.get(&anchor).map(|&p| p + 1).unwrap_or(self.region.len());
+        self.region.insert(at.min(self.region.len()), new_node);
+        self.reindex();
+    }
+
+    fn remove_from_region(&mut self, n: NodeId) {
+        self.region.retain(|&m| m != n);
+        self.reindex();
+    }
+
+    fn reindex(&mut self) {
+        self.pos = self.region.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    }
+
+    fn try_delete(&mut self, n: NodeId) {
+        if self.g.node_exists(n)
+            && self.g.node(n).tree.is_empty()
+            && n != self.g.entry
+            && self.pos.contains_key(&n)
+            && self.pos[&n] != 0
+        {
+            if try_delete_empty(self.g, self.ctx, n) {
+                self.stats.nodes_deleted += 1;
+                self.remove_from_region(n);
+            }
+        }
+    }
+
+    fn dce_sweep(&mut self) {
+        self.stats.dce_removed += propagate_copies(self.g, self.ctx) as u64;
+        self.ctx.refresh(self.g);
+        loop {
+            let mut removed = 0;
+            for i in 0..self.region.len() {
+                let n = self.region[i];
+                if !self.g.node_exists(n) {
+                    continue;
+                }
+                let ops: Vec<OpId> = self.g.node_ops(n).into_iter().map(|(_, o)| o).collect();
+                for op in ops {
+                    if remove_if_dead(self.g, self.ctx, n, op) {
+                        removed += 1;
+                    }
+                }
+            }
+            self.stats.dce_removed += removed;
+            if removed == 0 {
+                break;
+            }
+            self.ctx.refresh(self.g);
+        }
+    }
+
+    fn cleanup_empty_below(&mut self, from_idx: usize) {
+        let mut i = from_idx;
+        while i < self.region.len() {
+            let n = self.region[i];
+            if self.g.node_exists(n) && self.g.node(n).tree.is_empty() && i != 0 {
+                if try_delete_empty(self.g, self.ctx, n) {
+                    self.stats.nodes_deleted += 1;
+                    self.remove_from_region(n);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Convenience: schedule `region` of `g` and return the output.
+pub fn schedule_region(
+    g: &mut Graph,
+    ctx: &mut Ctx<'_>,
+    ranks: &RankTable,
+    cfg: GripConfig,
+    region: Vec<NodeId>,
+) -> ScheduleOutput {
+    Grip::new(g, ctx, ranks, cfg, region).run()
+}

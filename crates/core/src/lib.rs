@@ -1,0 +1,28 @@
+//! # grip-core — the GRiP scheduler
+//!
+//! The paper's contribution: **G**lobal **R**esource-constrained
+//! **P**ercolation scheduling (§3.2–§3.4).
+//!
+//! GRiP fills each instruction, in a top-down traversal, with the best
+//! operations from its *Moveable-ops* set — every operation below the node
+//! that has not been frozen by a dependence on a frozen op. Unlike the
+//! Unifiable-ops technique it approximates, operations that fail to reach
+//! the node stay wherever they got to, compacting the subgraph below as a
+//! side effect; full intermediate instructions form tolerated *resource
+//! barriers*.
+//!
+//! For Perfect Pipelining, the §3.3 **gap prediction and prevention**
+//! facility guards every single-instruction hop with the `Gapless-move`
+//! test and the three suspension rules, guaranteeing (Theorems 1–2) that
+//! only fillable, temporary gaps ever form — which is what makes the
+//! pipelined pattern converge.
+//!
+//! Entry point: [`schedule_region`] (or the [`Grip`] builder for tracing).
+
+#![warn(missing_docs)]
+
+mod grip;
+mod resources;
+
+pub use grip::{schedule_region, Grip, GripConfig, ScheduleOutput, ScheduleStats, Speculation, TraceEvent};
+pub use resources::Resources;

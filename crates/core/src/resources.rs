@@ -1,0 +1,79 @@
+//! The machine resource model.
+//!
+//! One VLIW instruction offers `fus` functional-unit slots for ordinary
+//! operations (copies included — §4 notes that renaming copies compete for
+//! resources, which is why redundant-op removal matters) and a budget of
+//! conditional jumps for the instruction's branch tree. The paper's IBM
+//! VLIW model has tree-based multiway branching, so the default jump budget
+//! is unlimited; it can be bounded for ablations.
+
+use grip_ir::{Graph, NodeId, OpId};
+
+/// Per-instruction resource limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resources {
+    /// Functional units: max ordinary operations per instruction.
+    pub fus: usize,
+    /// Max conditional jumps per instruction tree.
+    pub cjs: usize,
+}
+
+impl Resources {
+    /// No limits — pure Percolation Scheduling (POST's first phase).
+    pub const UNLIMITED: Resources = Resources { fus: usize::MAX, cjs: usize::MAX };
+
+    /// The paper's machine: `fus` functional units, unbounded branch tree.
+    pub fn vliw(fus: usize) -> Resources {
+        Resources { fus, cjs: usize::MAX }
+    }
+
+    /// True when `node` can still accept `op`.
+    pub fn has_room(&self, g: &Graph, node: NodeId, op: OpId) -> bool {
+        if g.op(op).kind.is_cj() {
+            g.node_cj_count(node) < self.cjs
+        } else {
+            g.node_op_count(node) < self.fus
+        }
+    }
+
+    /// True when `node` is saturated for ordinary operations.
+    pub fn ops_full(&self, g: &Graph, node: NodeId) -> bool {
+        g.node_op_count(node) >= self.fus
+    }
+
+    /// True when nothing further fits at all (ops and jumps).
+    pub fn exhausted(&self, g: &Graph, node: NodeId) -> bool {
+        self.ops_full(g, node) && g.node_cj_count(node) >= self.cjs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grip_ir::{OpKind, Operand, Operation, Tree, Value};
+
+    #[test]
+    fn room_accounting() {
+        let mut g = Graph::new();
+        let r = g.fresh_reg();
+        let c = g.fresh_reg();
+        let o1 = g.add_op(Operation::new(OpKind::Copy, Some(r), vec![Operand::Imm(Value::I(1))]));
+        let n = g.add_node(Tree::Leaf { ops: vec![o1], succ: None });
+        let d2 = g.fresh_reg();
+        let o2 = g.add_op(Operation::new(
+            OpKind::IAdd,
+            Some(d2),
+            vec![Operand::Reg(r), Operand::Imm(Value::I(1))],
+        ));
+        let cj = g.add_op(Operation::new(OpKind::CondJump, None, vec![Operand::Reg(c)]));
+
+        let two = Resources::vliw(2);
+        assert!(two.has_room(&g, n, o2));
+        assert!(!Resources::vliw(1).has_room(&g, n, o2));
+        assert!(two.has_room(&g, n, cj), "jump budget independent of FU slots");
+        assert!(!Resources { fus: 2, cjs: 0 }.has_room(&g, n, cj));
+        assert!(Resources::UNLIMITED.has_room(&g, n, o2));
+        assert!(Resources::vliw(1).ops_full(&g, n));
+        assert!(!two.exhausted(&g, n));
+    }
+}

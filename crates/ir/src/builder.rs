@@ -1,0 +1,275 @@
+//! A convenience builder producing *sequential* program graphs — one
+//! operation per instruction — exactly the shape the paper's front end
+//! hands to GRiP ("a sequential VLIW program graph wherein each node
+//! contains a single intermediate language statement", §4).
+
+use crate::graph::{Graph, LoopInfo};
+use crate::ids::{ArrayId, NodeId, RegId};
+use crate::op::{OpKind, Operand, Operation};
+use crate::tree::Tree;
+use crate::value::Value;
+
+/// Builds a straight-line / single-loop sequential program.
+///
+/// ```
+/// use grip_ir::{ProgramBuilder, OpKind, Operand, Value};
+///
+/// let mut b = ProgramBuilder::new();
+/// let x = b.array("x", 16);
+/// let k = b.named_reg("k");
+/// b.const_i(k, 0);
+/// b.begin_loop();
+/// let t = b.load("t", x, Operand::Reg(k), 0);
+/// let t2 = b.binary("t2", OpKind::Mul, Operand::Reg(t), Operand::Imm(Value::F(2.0)));
+/// b.store(x, Operand::Reg(k), 0, Operand::Reg(t2));
+/// b.iadd_imm(k, k, 1);
+/// let c = b.binary("c", OpKind::CmpLt, Operand::Reg(k), Operand::Imm(Value::I(16)));
+/// b.end_loop(c);
+/// let g = b.finish();
+/// assert!(g.loop_info.is_some());
+/// g.validate().unwrap();
+/// ```
+pub struct ProgramBuilder {
+    g: Graph,
+    /// Last emitted node; the next op is chained after it.
+    tail: NodeId,
+    /// Leaf position inside `tail` where the chain continues (the
+    /// fall-through side after a loop latch).
+    tail_path: crate::tree::TreePath,
+    /// Set by `begin_loop`: the node *before* the loop head (the head is the
+    /// next emitted node).
+    loop_start: Option<(NodeId, Option<NodeId>)>,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Start a fresh program.
+    pub fn new() -> Self {
+        let g = Graph::new();
+        let tail = g.entry;
+        ProgramBuilder { g, tail, tail_path: crate::tree::TreePath::ROOT, loop_start: None }
+    }
+
+    /// Declare an `f64` array.
+    pub fn array(&mut self, name: &str, len: usize) -> ArrayId {
+        self.g.array(name, len)
+    }
+
+    /// Declare an `i64` index array.
+    pub fn iarray(&mut self, name: &str, len: usize) -> ArrayId {
+        self.g.array_typed(name, len, crate::value::ElemKind::I)
+    }
+
+    /// Allocate a named register.
+    pub fn named_reg(&mut self, name: &str) -> RegId {
+        self.g.named_reg(name)
+    }
+
+    /// Mark a register observable at program exit.
+    pub fn live_out(&mut self, r: RegId) {
+        if !self.g.live_out.contains(&r) {
+            self.g.live_out.push(r);
+        }
+    }
+
+    /// Append one operation as its own instruction node.
+    pub fn emit(&mut self, mut op: Operation) -> NodeId {
+        debug_assert!(!op.kind.is_cj(), "use end_loop/branch for jumps");
+        if op.name.is_none() {
+            if let Some(d) = op.dest {
+                op.name = self.g.reg_name(d).map(Into::into);
+            }
+        }
+        let id = self.g.add_op(op);
+        let n = self.g.add_node(Tree::Leaf { ops: vec![id], succ: None });
+        self.g.set_succ(self.tail, self.tail_path, Some(n));
+        self.tail = n;
+        self.tail_path = crate::tree::TreePath::ROOT;
+        n
+    }
+
+    /// `dest = kind src0, src1` with a fresh named destination.
+    pub fn binary(&mut self, name: &str, kind: OpKind, a: Operand, b: Operand) -> RegId {
+        let d = self.g.named_reg(name);
+        self.emit(Operation::new(kind, Some(d), vec![a, b]));
+        d
+    }
+
+    /// `dest = kind src` with a fresh named destination.
+    pub fn unary(&mut self, name: &str, kind: OpKind, a: Operand) -> RegId {
+        let d = self.g.named_reg(name);
+        self.emit(Operation::new(kind, Some(d), vec![a]));
+        d
+    }
+
+    /// `dest = #v` (load-immediate into an existing register).
+    pub fn const_i(&mut self, dest: RegId, v: i64) -> NodeId {
+        self.emit(Operation::new(OpKind::Copy, Some(dest), vec![Operand::Imm(Value::I(v))]))
+    }
+
+    /// `dest = #v` for floats.
+    pub fn const_f(&mut self, dest: RegId, v: f64) -> NodeId {
+        self.emit(Operation::new(OpKind::Copy, Some(dest), vec![Operand::Imm(Value::F(v))]))
+    }
+
+    /// `dest = copy src`.
+    pub fn copy(&mut self, dest: RegId, src: Operand) -> NodeId {
+        self.emit(Operation::new(OpKind::Copy, Some(dest), vec![src]))
+    }
+
+    /// `dest = iadd src, #imm` into an *existing* register (for induction
+    /// updates like `k = k + 1`).
+    pub fn iadd_imm(&mut self, dest: RegId, src: RegId, imm: i64) -> NodeId {
+        self.emit(Operation::new(
+            OpKind::IAdd,
+            Some(dest),
+            vec![Operand::Reg(src), Operand::Imm(Value::I(imm))],
+        ))
+    }
+
+    /// Fresh-destination load: `name = array[idx + disp]`.
+    pub fn load(&mut self, name: &str, array: ArrayId, idx: Operand, disp: i64) -> RegId {
+        let d = self.g.named_reg(name);
+        let mut op = Operation::new(OpKind::Load(array), Some(d), vec![idx]);
+        op.disp = disp;
+        self.emit(op);
+        d
+    }
+
+    /// `array[idx + disp] = value`.
+    pub fn store(&mut self, array: ArrayId, idx: Operand, disp: i64, value: Operand) -> NodeId {
+        let mut op = Operation::new(OpKind::Store(array), None, vec![idx, value]);
+        op.disp = disp;
+        self.emit(op)
+    }
+
+    /// Mark the next emitted instruction as the head of *the* loop.
+    pub fn begin_loop(&mut self) {
+        assert!(self.loop_start.is_none(), "only one loop per builder program");
+        self.loop_start = Some((self.tail, None));
+    }
+
+    /// Close the loop: emits the conditional jump `if cond goto head else
+    /// fall through`. The builder then continues emitting the post-loop
+    /// (epilogue) code on the fall-through side.
+    pub fn end_loop(&mut self, cond: RegId) -> NodeId {
+        let (preheader, _) = self.loop_start.expect("end_loop without begin_loop");
+        let head = self.g.successors(preheader)[0];
+        let cj = self.g.add_op(Operation::new(OpKind::CondJump, None, vec![Operand::Reg(cond)]));
+        let latch = self.g.add_node(Tree::Branch {
+            ops: vec![],
+            cj,
+            on_true: Box::new(Tree::leaf(Some(head))),
+            on_false: Box::new(Tree::leaf(None)),
+        });
+        self.g.set_succ(self.tail, self.tail_path, Some(latch));
+        self.tail = latch;
+        self.tail_path = crate::tree::TreePath::ROOT.child(false);
+        self.loop_start = Some((preheader, Some(latch)));
+        latch
+    }
+
+    /// Finish the program. If a loop was built, the loop exit node (the
+    /// first post-loop node, materialized empty when none was emitted) is
+    /// recorded in [`LoopInfo`].
+    pub fn finish(mut self) -> Graph {
+        if let Some((preheader, Some(latch))) = self.loop_start {
+            let false_path = crate::tree::TreePath::ROOT.child(false);
+            let exit = match self.g.node(latch).tree.get(false_path) {
+                Some(Tree::Leaf { succ: Some(s), .. }) => *s,
+                _ => {
+                    // No post-loop code: materialize an explicit exit node.
+                    let exit = self.g.add_node(Tree::leaf(None));
+                    self.g.set_succ(latch, false_path, Some(exit));
+                    exit
+                }
+            };
+            let head = self.g.successors(preheader)[0];
+            self.g.loop_info = Some(LoopInfo { head, latch, preheader, exit });
+        }
+        self.g
+    }
+
+    /// Direct access to the underlying graph while building (for unusual
+    /// shapes the convenience methods do not cover).
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.g
+    }
+
+    /// The node the next emission will chain after.
+    pub fn tail(&self) -> NodeId {
+        self.tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_program() {
+        let mut b = ProgramBuilder::new();
+        let r = b.named_reg("acc");
+        b.const_f(r, 0.0);
+        let s = b.binary("s", OpKind::Add, Operand::Reg(r), Operand::Imm(Value::F(1.0)));
+        b.live_out(s);
+        let g = b.finish();
+        g.validate().unwrap();
+        assert_eq!(g.reachable().len(), 3); // entry + 2 ops
+        assert!(g.loop_info.is_none());
+        assert_eq!(g.live_out, vec![s]);
+    }
+
+    #[test]
+    fn loop_program_records_loop_info() {
+        let mut b = ProgramBuilder::new();
+        let x = b.array("x", 8);
+        let k = b.named_reg("k");
+        b.const_i(k, 0);
+        b.begin_loop();
+        let t = b.load("t", x, Operand::Reg(k), 0);
+        b.store(x, Operand::Reg(k), 0, Operand::Reg(t));
+        b.iadd_imm(k, k, 1);
+        let c = b.binary("c", OpKind::CmpLt, Operand::Reg(k), Operand::Imm(Value::I(8)));
+        b.end_loop(c);
+        let g = b.finish();
+        g.validate().unwrap();
+        let li = g.loop_info.unwrap();
+        // back edge: latch's true side points at head
+        assert!(g.successors(li.latch).contains(&li.head));
+        assert!(g.successors(li.latch).contains(&li.exit));
+        assert_eq!(g.successors(li.preheader), vec![li.head]);
+        // one op per node in the loop body
+        let mut n = li.head;
+        let mut count = 0;
+        while n != li.latch {
+            assert_eq!(g.node_op_count(n), 1);
+            n = g.successors(n)[0];
+            count += 1;
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn post_loop_code_chains_after_latch() {
+        let mut b = ProgramBuilder::new();
+        let k = b.named_reg("k");
+        b.const_i(k, 0);
+        b.begin_loop();
+        b.iadd_imm(k, k, 1);
+        let c = b.binary("c", OpKind::CmpLt, Operand::Reg(k), Operand::Imm(Value::I(4)));
+        b.end_loop(c);
+        let done = b.binary("d", OpKind::IAdd, Operand::Reg(k), Operand::Imm(Value::I(100)));
+        b.live_out(done);
+        let g = b.finish();
+        g.validate().unwrap();
+        let li = g.loop_info.unwrap();
+        // exit is the post-loop op node
+        assert_eq!(g.node_op_count(li.exit), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Newtype index handles for the IR arenas.
+//!
+//! Everything in the IR is stored in flat `Vec` arenas and referenced by
+//! these copyable `u32` ids (no `Rc`/`RefCell` graphs), following the
+//! index-based graph idiom for performance-sensitive Rust.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub fn new(raw: usize) -> Self {
+                debug_assert!(raw <= u32::MAX as usize);
+                Self(raw as u32)
+            }
+
+            /// The raw index, for arena addressing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A virtual register. The register file is unbounded (the paper assumes
+    /// "a free register is available" whenever renaming is required).
+    RegId,
+    "r"
+);
+id_newtype!(
+    /// A memory array (the simulator gives each array its own address space,
+    /// which is how the paper's word-level dependence reasoning behaves).
+    ArrayId,
+    "@"
+);
+id_newtype!(
+    /// A node of the program graph, i.e. one VLIW instruction.
+    NodeId,
+    "n"
+);
+id_newtype!(
+    /// An operation instance. Stable across code motion; duplication (node
+    /// splitting) allocates a fresh `OpId` that shares the original's
+    /// [`crate::Operation::orig`] ancestor id.
+    OpId,
+    "op"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let r = RegId::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(format!("{r}"), "r7");
+        assert_eq!(format!("{:?}", NodeId::new(3)), "n3");
+        assert_eq!(format!("{}", ArrayId::new(1)), "@1");
+        assert_eq!(format!("{}", OpId::new(12)), "op12");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(OpId::new(1) < OpId::new(2));
+        assert_eq!(NodeId::new(4), NodeId::new(4));
+    }
+}

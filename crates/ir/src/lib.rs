@@ -1,0 +1,37 @@
+//! # grip-ir — the VLIW program-graph IR
+//!
+//! The intermediate representation of the GRiP system, modelling §2 of
+//! Nicolau & Novack, *An Efficient Global Resource Constrained Technique
+//! for Exploiting Instruction Level Parallelism* (UCI TR 92-08, 1992):
+//!
+//! * a **program graph** whose nodes are VLIW instructions and whose edges
+//!   are control flow ([`Graph`], [`Instruction`]);
+//! * instructions as **trees of conditional jumps** with ordinary
+//!   operations attached to tree positions ([`Tree`], [`TreePath`]) — the
+//!   IBM VLIW variant, where only results along the selected path commit;
+//! * the operation vocabulary of the paper's intermediate language
+//!   ([`Operation`], [`OpKind`]): `A = B op C`, loads/stores, conditional
+//!   jumps, and register copies;
+//! * a [`ProgramBuilder`] producing the *sequential* graphs (one operation
+//!   per instruction) that scheduling starts from.
+//!
+//! Everything is stored in flat arenas addressed by `u32` newtype ids; all
+//! structural mutation goes through [`Graph`] methods so the op→node
+//! placement map used by the schedulers stays consistent.
+
+#![warn(missing_docs)]
+
+mod builder;
+mod graph;
+mod ids;
+mod op;
+pub mod print;
+mod tree;
+mod value;
+
+pub use builder::ProgramBuilder;
+pub use graph::{ArrayInfo, Graph, Instruction, LoopInfo, ValidateError};
+pub use ids::{ArrayId, NodeId, OpId, RegId};
+pub use op::{OpKind, Operand, Operation};
+pub use tree::{Tree, TreePath};
+pub use value::{ElemKind, TypeError, Value};

@@ -1,0 +1,388 @@
+//! Operations: the "conventional operations" of the paper's VLIW model
+//! (`A = B op C`, `load`/`store`, `jump-cond C DEST`, register copies).
+
+use crate::ids::{ArrayId, OpId, RegId};
+use crate::value::{TypeError, Value};
+use std::fmt;
+
+/// An operand: either a virtual register or an immediate constant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Operand {
+    /// Read a register at instruction entry.
+    Reg(RegId),
+    /// A literal value.
+    Imm(Value),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    #[inline]
+    pub fn reg(self) -> Option<RegId> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// True if this operand reads `r`.
+    #[inline]
+    pub fn reads(self, r: RegId) -> bool {
+        self.reg() == Some(r)
+    }
+}
+
+impl From<RegId> for Operand {
+    fn from(r: RegId) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Value> for Operand {
+    fn from(v: Value) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// The kind of an operation.
+///
+/// All operations complete in a single cycle, as assumed in §2 of the paper
+/// (the multi-cycle extension is Potasman's and out of scope).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `f64` addition.
+    Add,
+    /// `f64` subtraction.
+    Sub,
+    /// `f64` multiplication.
+    Mul,
+    /// `f64` division.
+    Div,
+    /// `f64` minimum.
+    Min,
+    /// `f64` maximum.
+    Max,
+    /// `f64` negation.
+    Neg,
+    /// `f64` absolute value.
+    Abs,
+    /// `f64` square root.
+    Sqrt,
+    /// `i64` addition (induction variables, index math).
+    IAdd,
+    /// `i64` subtraction.
+    ISub,
+    /// `i64` multiplication.
+    IMul,
+    /// Less-than compare (both operands `i64` or both `f64`; result bool).
+    CmpLt,
+    /// Less-or-equal compare.
+    CmpLe,
+    /// Greater-than compare.
+    CmpGt,
+    /// Greater-or-equal compare.
+    CmpGe,
+    /// Equality compare.
+    CmpEq,
+    /// Inequality compare.
+    CmpNe,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean negation.
+    Not,
+    /// Register copy or load-immediate. Copies are produced by renaming and
+    /// "do not generate new values and do not prevent code motion" (§2);
+    /// the percolation engine bypasses them.
+    Copy,
+    /// Memory read: `dest = array[src0 + disp]`.
+    Load(ArrayId),
+    /// Memory write: `array[src0 + disp] = src1`. No destination register.
+    Store(ArrayId),
+    /// Conditional jump on a boolean register; lives at the branch points of
+    /// an instruction tree. No destination register.
+    CondJump,
+}
+
+impl OpKind {
+    /// Number of source operands this kind requires.
+    pub fn arity(self) -> usize {
+        use OpKind::*;
+        match self {
+            Add | Sub | Mul | Div | Min | Max | IAdd | ISub | IMul | CmpLt | CmpLe | CmpGt
+            | CmpGe | CmpEq | CmpNe | And | Or => 2,
+            Neg | Abs | Sqrt | Not | Copy | CondJump => 1,
+            Load(_) => 1,
+            Store(_) => 2,
+        }
+    }
+
+    /// Whether operations of this kind define a destination register.
+    pub fn has_dest(self) -> bool {
+        !matches!(self, OpKind::Store(_) | OpKind::CondJump)
+    }
+
+    /// True for conditional jumps.
+    #[inline]
+    pub fn is_cj(self) -> bool {
+        matches!(self, OpKind::CondJump)
+    }
+
+    /// True for stores (which can never be scheduled speculatively because a
+    /// memory write cannot be renamed away).
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, OpKind::Store(_))
+    }
+
+    /// True for loads.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, OpKind::Load(_))
+    }
+
+    /// True if this kind touches memory.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpKind::Load(_) | OpKind::Store(_))
+    }
+
+    /// True if `a op b == b op a`, used by the node-local unifier.
+    pub fn commutative(self) -> bool {
+        use OpKind::*;
+        matches!(self, Add | Mul | Min | Max | IAdd | IMul | CmpEq | CmpNe | And | Or)
+    }
+
+    /// Evaluate a pure (register-only) operation on concrete values.
+    ///
+    /// `Load`/`Store`/`CondJump`/`Copy` are not evaluated here: memory ops
+    /// need the machine state and `Copy`/`CondJump` just forward `srcs[0]`.
+    pub fn eval(self, srcs: &[Value]) -> Result<Value, TypeError> {
+        use OpKind::*;
+        debug_assert_eq!(srcs.len(), self.arity());
+        Ok(match self {
+            Add => Value::F(srcs[0].as_f()? + srcs[1].as_f()?),
+            Sub => Value::F(srcs[0].as_f()? - srcs[1].as_f()?),
+            Mul => Value::F(srcs[0].as_f()? * srcs[1].as_f()?),
+            Div => Value::F(srcs[0].as_f()? / srcs[1].as_f()?),
+            Min => Value::F(srcs[0].as_f()?.min(srcs[1].as_f()?)),
+            Max => Value::F(srcs[0].as_f()?.max(srcs[1].as_f()?)),
+            Neg => Value::F(-srcs[0].as_f()?),
+            Abs => Value::F(srcs[0].as_f()?.abs()),
+            Sqrt => Value::F(srcs[0].as_f()?.sqrt()),
+            IAdd => Value::I(srcs[0].as_i()?.wrapping_add(srcs[1].as_i()?)),
+            ISub => Value::I(srcs[0].as_i()?.wrapping_sub(srcs[1].as_i()?)),
+            IMul => Value::I(srcs[0].as_i()?.wrapping_mul(srcs[1].as_i()?)),
+            CmpLt | CmpLe | CmpGt | CmpGe | CmpEq | CmpNe => {
+                let ord = match (srcs[0], srcs[1]) {
+                    (Value::I(a), Value::I(b)) => a.partial_cmp(&b),
+                    (a, b) => a.as_f()?.partial_cmp(&b.as_f()?),
+                };
+                let r = match self {
+                    CmpLt => ord == Some(std::cmp::Ordering::Less),
+                    CmpLe => matches!(
+                        ord,
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    ),
+                    CmpGt => ord == Some(std::cmp::Ordering::Greater),
+                    CmpGe => matches!(
+                        ord,
+                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                    ),
+                    CmpEq => ord == Some(std::cmp::Ordering::Equal),
+                    CmpNe => ord != Some(std::cmp::Ordering::Equal),
+                    _ => unreachable!(),
+                };
+                Value::B(r)
+            }
+            And => Value::B(srcs[0].as_b()? && srcs[1].as_b()?),
+            Or => Value::B(srcs[0].as_b()? || srcs[1].as_b()?),
+            Not => Value::B(!srcs[0].as_b()?),
+            Copy | Load(_) | Store(_) | CondJump => {
+                unreachable!("eval() is only defined for pure arithmetic kinds")
+            }
+        })
+    }
+
+    /// Mnemonic used by the pretty printer.
+    pub fn mnemonic(self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Min => "min",
+            Max => "max",
+            Neg => "neg",
+            Abs => "abs",
+            Sqrt => "sqrt",
+            IAdd => "iadd",
+            ISub => "isub",
+            IMul => "imul",
+            CmpLt => "clt",
+            CmpLe => "cle",
+            CmpGt => "cgt",
+            CmpGe => "cge",
+            CmpEq => "ceq",
+            CmpNe => "cne",
+            And => "and",
+            Or => "or",
+            Not => "not",
+            Copy => "copy",
+            Load(_) => "load",
+            Store(_) => "store",
+            CondJump => "cjump",
+        }
+    }
+}
+
+/// An operation instance stored in the [`crate::Graph`] arena.
+#[derive(Clone, Debug)]
+pub struct Operation {
+    /// What this operation computes.
+    pub kind: OpKind,
+    /// Destination register; `None` for stores and conditional jumps.
+    pub dest: Option<RegId>,
+    /// Source operands (fetched at instruction entry under VLIW semantics).
+    pub src: Vec<Operand>,
+    /// Constant displacement added to `src[0]` for `Load`/`Store` addressing.
+    /// Induction simplification folds unwound `k+i` chains into this field,
+    /// which is what makes cross-iteration memory disambiguation decidable.
+    pub disp: i64,
+    /// Iteration tag for Perfect Pipelining (0 outside pipelined regions).
+    pub iter: u32,
+    /// The pre-scheduling ancestor of this op. Self for original operations;
+    /// duplication (node splitting, move-cj residues) preserves it. Memory
+    /// dependences and pattern detection are keyed by this id so they
+    /// survive code motion.
+    pub orig: OpId,
+    /// Optional debug label (the paper's `a`–`g` example names).
+    pub name: Option<Box<str>>,
+}
+
+impl Operation {
+    /// Create an operation; `orig` is patched by the graph when the op is
+    /// first interned.
+    pub fn new(kind: OpKind, dest: Option<RegId>, src: Vec<Operand>) -> Self {
+        debug_assert_eq!(src.len(), kind.arity(), "bad arity for {kind:?}");
+        debug_assert_eq!(dest.is_some(), kind.has_dest(), "bad dest for {kind:?}");
+        Operation { kind, dest, src, disp: 0, iter: 0, orig: OpId::new(u32::MAX as usize), name: None }
+    }
+
+    /// All registers read by this operation.
+    pub fn reads(&self) -> impl Iterator<Item = RegId> + '_ {
+        self.src.iter().filter_map(|o| o.reg())
+    }
+
+    /// True if the operation reads register `r`.
+    pub fn reads_reg(&self, r: RegId) -> bool {
+        self.src.iter().any(|o| o.reads(r))
+    }
+
+    /// True if the operation writes register `r`.
+    pub fn writes_reg(&self, r: RegId) -> bool {
+        self.dest == Some(r)
+    }
+
+    /// A short label for tableau printing: the debug name if present,
+    /// otherwise the mnemonic.
+    pub fn label(&self) -> &str {
+        self.name.as_deref().unwrap_or_else(|| self.kind.mnemonic())
+    }
+
+    /// True if this is a register-to-register copy (renaming artifact).
+    pub fn is_reg_copy(&self) -> bool {
+        self.kind == OpKind::Copy && matches!(self.src[0], Operand::Reg(_))
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(d) = self.dest {
+            write!(f, "{d} = ")?;
+        }
+        write!(f, "{}", self.kind.mnemonic())?;
+        if let OpKind::Load(a) | OpKind::Store(a) = self.kind {
+            write!(f, " {a}")?;
+        }
+        for (i, s) in self.src.iter().enumerate() {
+            let sep = if i == 0 { ' ' } else { ',' };
+            match s {
+                Operand::Reg(r) => write!(f, "{sep}{r}")?,
+                Operand::Imm(v) => write!(f, "{sep}#{v}")?,
+            }
+        }
+        if self.kind.is_mem() && self.disp != 0 {
+            write!(f, "+{}", self.disp)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_dest_invariants() {
+        assert_eq!(OpKind::Add.arity(), 2);
+        assert_eq!(OpKind::Not.arity(), 1);
+        assert_eq!(OpKind::Store(ArrayId::new(0)).arity(), 2);
+        assert!(!OpKind::Store(ArrayId::new(0)).has_dest());
+        assert!(!OpKind::CondJump.has_dest());
+        assert!(OpKind::Load(ArrayId::new(0)).has_dest());
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        assert_eq!(OpKind::Add.eval(&[Value::F(1.0), Value::F(2.0)]), Ok(Value::F(3.0)));
+        assert_eq!(OpKind::IMul.eval(&[Value::I(3), Value::I(4)]), Ok(Value::I(12)));
+        assert_eq!(OpKind::CmpLt.eval(&[Value::I(3), Value::I(4)]), Ok(Value::B(true)));
+        assert_eq!(OpKind::CmpGe.eval(&[Value::F(3.0), Value::F(4.0)]), Ok(Value::B(false)));
+        assert_eq!(OpKind::And.eval(&[Value::B(true), Value::B(false)]), Ok(Value::B(false)));
+    }
+
+    #[test]
+    fn eval_type_errors() {
+        assert!(OpKind::Add.eval(&[Value::I(1), Value::F(2.0)]).is_err());
+        assert!(OpKind::Not.eval(&[Value::F(1.0)]).is_err());
+    }
+
+    #[test]
+    fn mixed_compare_requires_floats_or_ints() {
+        // i64/i64 compares exactly; mixed promotes via as_f and errors on ints.
+        assert_eq!(OpKind::CmpEq.eval(&[Value::I(2), Value::I(2)]), Ok(Value::B(true)));
+        assert!(OpKind::CmpEq.eval(&[Value::I(2), Value::F(2.0)]).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let op = Operation::new(
+            OpKind::Add,
+            Some(RegId::new(3)),
+            vec![Operand::Reg(RegId::new(1)), Operand::Imm(Value::F(2.0))],
+        );
+        assert_eq!(op.to_string(), "r3 = add r1,#2");
+        let mut ld = Operation::new(
+            OpKind::Load(ArrayId::new(0)),
+            Some(RegId::new(5)),
+            vec![Operand::Reg(RegId::new(2))],
+        );
+        ld.disp = 4;
+        assert_eq!(ld.to_string(), "r5 = load @0 r2+4");
+    }
+
+    #[test]
+    fn reads_and_writes() {
+        let op = Operation::new(
+            OpKind::Sub,
+            Some(RegId::new(9)),
+            vec![Operand::Reg(RegId::new(1)), Operand::Reg(RegId::new(1))],
+        );
+        assert!(op.reads_reg(RegId::new(1)));
+        assert!(!op.reads_reg(RegId::new(9)));
+        assert!(op.writes_reg(RegId::new(9)));
+        assert_eq!(op.reads().count(), 2);
+    }
+}

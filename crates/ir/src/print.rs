@@ -1,0 +1,166 @@
+//! Human-readable dumps: whole-graph listings and the paper's iteration
+//! tableaux (Figures 5, 9, 13).
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::tree::Tree;
+use std::fmt::Write as _;
+
+/// Render the whole graph as an indented listing, nodes in reachable order.
+pub fn dump(g: &Graph) -> String {
+    let mut out = String::new();
+    for n in g.reachable() {
+        let _ = writeln!(out, "{n}:{}", if n == g.entry { "  (entry)" } else { "" });
+        dump_tree(g, &g.node(n).tree, 1, &mut out);
+    }
+    out
+}
+
+fn dump_tree(g: &Graph, t: &Tree, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match t {
+        Tree::Leaf { ops, succ } => {
+            for &o in ops {
+                let _ = writeln!(out, "{pad}{}", render_op(g, o));
+            }
+            match succ {
+                Some(s) => {
+                    let _ = writeln!(out, "{pad}=> {s}");
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}=> exit");
+                }
+            }
+        }
+        Tree::Branch { ops, cj, on_true, on_false } => {
+            for &o in ops {
+                let _ = writeln!(out, "{pad}{}", render_op(g, o));
+            }
+            let _ = writeln!(out, "{pad}{} ?", render_op(g, *cj));
+            let _ = writeln!(out, "{pad}T:");
+            dump_tree(g, on_true, indent + 1, out);
+            let _ = writeln!(out, "{pad}F:");
+            dump_tree(g, on_false, indent + 1, out);
+        }
+    }
+}
+
+/// Render one operation with named registers where available.
+pub fn render_op(g: &Graph, id: crate::ids::OpId) -> String {
+    let op = g.op(id);
+    let mut s = String::new();
+    if let Some(n) = &op.name {
+        let _ = write!(s, "[{n}] ");
+    }
+    let _ = write!(s, "{op}");
+    if op.iter != 0 {
+        let _ = write!(s, "  ;it{}", op.iter);
+    }
+    s
+}
+
+/// One row of a tableau: a node and, per iteration, the labels of its ops
+/// belonging to that iteration.
+#[derive(Clone, Debug)]
+pub struct TableauRow {
+    /// The node this row describes.
+    pub node: NodeId,
+    /// `cells[i]` holds the labels of this node's ops tagged iteration `i`.
+    pub cells: Vec<String>,
+}
+
+/// Build the paper-style iteration tableau for `nodes` (typically the
+/// scheduled unwound loop body in topological order): one row per node, one
+/// column per iteration, each cell the concatenated labels of that
+/// iteration's ops in the node — the exact format of Figures 5, 9 and 13.
+pub fn tableau(g: &Graph, nodes: &[NodeId], iters: usize) -> Vec<TableauRow> {
+    let mut rows = Vec::with_capacity(nodes.len());
+    for &n in nodes {
+        let mut cells = vec![String::new(); iters];
+        let mut ops = g.node_ops(n);
+        ops.sort_by_key(|&(_, o)| o);
+        for (_, o) in ops {
+            let op = g.op(o);
+            let it = op.iter as usize;
+            if it < iters {
+                let label = op.label();
+                // Conditional jumps render as their label suffixed with '?'.
+                if op.kind.is_cj() {
+                    let _ = write!(cells[it], "{label}?");
+                } else {
+                    cells[it].push_str(label);
+                }
+            }
+        }
+        rows.push(TableauRow { node: n, cells });
+    }
+    rows
+}
+
+/// Format a tableau as fixed-width text.
+pub fn render_tableau(rows: &[TableauRow], iters: usize) -> String {
+    let width = rows
+        .iter()
+        .flat_map(|r| r.cells.iter().map(|c| c.len()))
+        .max()
+        .unwrap_or(1)
+        .max(4)
+        + 1;
+    let mut out = String::new();
+    let _ = write!(out, "{:>6} |", "node");
+    for i in 0..iters {
+        let _ = write!(out, " {:^w$}", format!("it{i}"), w = width);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(8 + (width + 1) * iters));
+    for row in rows {
+        let _ = write!(out, "{:>6} |", row.node.to_string());
+        for c in &row.cells {
+            let _ = write!(out, " {:^w$}", c, w = width);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::op::{OpKind, Operand};
+    use crate::value::Value;
+
+    fn sample() -> Graph {
+        let mut b = ProgramBuilder::new();
+        let k = b.named_reg("k");
+        b.const_i(k, 0);
+        b.begin_loop();
+        b.iadd_imm(k, k, 1);
+        let c = b.binary("c", OpKind::CmpLt, Operand::Reg(k), Operand::Imm(Value::I(4)));
+        b.end_loop(c);
+        b.finish()
+    }
+
+    #[test]
+    fn dump_contains_nodes_and_ops() {
+        let g = sample();
+        let text = dump(&g);
+        assert!(text.contains("(entry)"));
+        assert!(text.contains("iadd"));
+        assert!(text.contains("cjump"));
+        assert!(text.contains("=> exit"));
+        assert!(text.contains("T:"));
+    }
+
+    #[test]
+    fn tableau_shapes() {
+        let g = sample();
+        let nodes: Vec<NodeId> = g.reachable();
+        let rows = tableau(&g, &nodes, 2);
+        assert_eq!(rows.len(), nodes.len());
+        assert!(rows.iter().all(|r| r.cells.len() == 2));
+        let text = render_tableau(&rows, 2);
+        assert!(text.contains("it0"));
+        assert!(text.contains("it1"));
+    }
+}

@@ -1,0 +1,439 @@
+//! Instruction trees: the IBM VLIW model of §2.
+//!
+//! An instruction is a binary tree whose internal nodes carry conditional
+//! jumps and whose leaves name successor instructions. Ordinary operations
+//! are attached to tree positions; an operation attached at position `p`
+//! commits its result on every execution whose selected path passes through
+//! `p` (the IBM variant stores only results computed along the selected
+//! path).
+
+use crate::ids::{NodeId, OpId};
+use std::fmt;
+
+/// A path (or path prefix) through an instruction tree, encoded as branch
+/// decisions from the root: bit `i` is the decision at depth `i`
+/// (`true` = taken/true side).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TreePath {
+    bits: u64,
+    len: u8,
+}
+
+impl TreePath {
+    /// The empty path (the tree root).
+    pub const ROOT: TreePath = TreePath { bits: 0, len: 0 };
+
+    /// Number of branch decisions on the path.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// True for the root path.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Extend the path with one more branch decision.
+    #[must_use]
+    pub fn child(self, taken: bool) -> TreePath {
+        assert!(self.len < 64, "instruction tree deeper than 64 branches");
+        let mut bits = self.bits;
+        if taken {
+            bits |= 1 << self.len;
+        }
+        TreePath { bits, len: self.len + 1 }
+    }
+
+    /// The branch decision at depth `i`.
+    #[inline]
+    pub fn decision(self, i: usize) -> bool {
+        debug_assert!(i < self.len());
+        self.bits & (1 << i) != 0
+    }
+
+    /// The parent position (one decision shorter), or `None` at the root.
+    pub fn parent(self) -> Option<TreePath> {
+        if self.len == 0 {
+            None
+        } else {
+            let len = self.len - 1;
+            TreePath { bits: self.bits & !(!0u64 << len), len }.into()
+        }
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other`: an op at `self`
+    /// commits on every path through `other`.
+    pub fn is_prefix_of(self, other: TreePath) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        let mask = if self.len == 0 { 0 } else { !(!0u64 << self.len) };
+        (self.bits & mask) == (other.bits & mask)
+    }
+}
+
+macro_rules! fmt_path_impl {
+    ($trait_:path) => {
+        impl $trait_ for TreePath {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.len == 0 {
+                    return write!(f, "ε");
+                }
+                for i in 0..self.len() {
+                    write!(f, "{}", if self.decision(i) { 'T' } else { 'F' })?;
+                }
+                Ok(())
+            }
+        }
+    };
+}
+
+fmt_path_impl!(fmt::Debug);
+fmt_path_impl!(fmt::Display);
+
+/// A node of an instruction tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tree {
+    /// End of a path: the operations committed here plus the successor
+    /// instruction (`None` = program exit).
+    Leaf {
+        /// Operations attached to this exact path.
+        ops: Vec<OpId>,
+        /// Next instruction when execution selects this path.
+        succ: Option<NodeId>,
+    },
+    /// A conditional jump with its two subtrees. `ops` attached here commit
+    /// on all paths through this position.
+    Branch {
+        /// Operations committing on every path below this position.
+        ops: Vec<OpId>,
+        /// The conditional jump operation selecting a side.
+        cj: OpId,
+        /// Subtree taken when the condition is true.
+        on_true: Box<Tree>,
+        /// Subtree taken when the condition is false.
+        on_false: Box<Tree>,
+    },
+}
+
+impl Tree {
+    /// A leaf with no operations.
+    pub fn leaf(succ: Option<NodeId>) -> Tree {
+        Tree::Leaf { ops: Vec::new(), succ }
+    }
+
+    /// The subtree at position `path`, if the position exists.
+    pub fn get(&self, path: TreePath) -> Option<&Tree> {
+        let mut cur = self;
+        for i in 0..path.len() {
+            match cur {
+                Tree::Branch { on_true, on_false, .. } => {
+                    cur = if path.decision(i) { on_true } else { on_false };
+                }
+                Tree::Leaf { .. } => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Mutable access to the subtree at `path`.
+    pub fn get_mut(&mut self, path: TreePath) -> Option<&mut Tree> {
+        let mut cur = self;
+        for i in 0..path.len() {
+            match cur {
+                Tree::Branch { on_true, on_false, .. } => {
+                    cur = if path.decision(i) { on_true } else { on_false };
+                }
+                Tree::Leaf { .. } => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Operations stored directly at this tree node.
+    pub fn ops(&self) -> &[OpId] {
+        match self {
+            Tree::Leaf { ops, .. } | Tree::Branch { ops, .. } => ops,
+        }
+    }
+
+    /// Mutable operations list of this tree node.
+    pub fn ops_mut(&mut self) -> &mut Vec<OpId> {
+        match self {
+            Tree::Leaf { ops, .. } | Tree::Branch { ops, .. } => ops,
+        }
+    }
+
+    /// Pre-order walk over all positions, visiting `(position, tree-node)`.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(TreePath, &'a Tree)) {
+        fn rec<'a>(t: &'a Tree, p: TreePath, f: &mut impl FnMut(TreePath, &'a Tree)) {
+            f(p, t);
+            if let Tree::Branch { on_true, on_false, .. } = t {
+                rec(on_true, p.child(true), f);
+                rec(on_false, p.child(false), f);
+            }
+        }
+        rec(self, TreePath::ROOT, f)
+    }
+
+    /// All `(position, op)` pairs in the tree, conditional jumps included
+    /// (a branch's cj is reported at the branch position).
+    pub fn placed_ops(&self) -> Vec<(TreePath, OpId)> {
+        let mut out = Vec::new();
+        self.walk(&mut |p, t| {
+            for &op in t.ops() {
+                out.push((p, op));
+            }
+            if let Tree::Branch { cj, .. } = t {
+                out.push((p, *cj));
+            }
+        });
+        out
+    }
+
+    /// All leaf positions with their successors.
+    pub fn leaves(&self) -> Vec<(TreePath, Option<NodeId>)> {
+        let mut out = Vec::new();
+        self.walk(&mut |p, t| {
+            if let Tree::Leaf { succ, .. } = t {
+                out.push((p, *succ));
+            }
+        });
+        out
+    }
+
+    /// Leaf positions whose successor is `target`.
+    pub fn leaf_paths_to(&self, target: NodeId) -> Vec<TreePath> {
+        self.leaves()
+            .into_iter()
+            .filter_map(|(p, s)| (s == Some(target)).then_some(p))
+            .collect()
+    }
+
+    /// Successor instructions (with duplicates if several leaves share one).
+    pub fn successors(&self) -> Vec<NodeId> {
+        self.leaves().into_iter().filter_map(|(_, s)| s).collect()
+    }
+
+    /// Position of operation `op` in the tree (its own position for a cj).
+    pub fn position_of(&self, op: OpId) -> Option<TreePath> {
+        let mut found = None;
+        self.walk(&mut |p, t| {
+            if found.is_none()
+                && (t.ops().contains(&op) || matches!(t, Tree::Branch { cj, .. } if *cj == op))
+            {
+                found = Some(p);
+            }
+        });
+        found
+    }
+
+    /// Remove `op` from whatever position holds it. Returns its position.
+    /// Does not restructure the tree (removing a branch's cj is a separate,
+    /// structural edit — see [`Tree::remove_branch`]).
+    pub fn remove_op(&mut self, op: OpId) -> Option<TreePath> {
+        let pos = self.position_of(op)?;
+        let node = self.get_mut(pos).expect("position exists");
+        if let Tree::Branch { cj, .. } = node {
+            assert_ne!(*cj, op, "use remove_branch to remove a conditional jump");
+        }
+        let ops = node.ops_mut();
+        let idx = ops.iter().position(|&o| o == op)?;
+        ops.remove(idx);
+        Some(pos)
+    }
+
+    /// Attach `op` at position `path` (leaf or branch node).
+    pub fn insert_op(&mut self, path: TreePath, op: OpId) {
+        self.get_mut(path)
+            .expect("insert_op: position must exist")
+            .ops_mut()
+            .push(op);
+    }
+
+    /// Replace the leaf at `path` by a branch on `cj` whose sides are fresh
+    /// leaves to `t_succ` / `f_succ`. The old leaf's ops stay at the (now
+    /// branch) position, so they still commit on both sides — exactly the
+    /// old semantics. Used by `move-cj`.
+    pub fn split_leaf(
+        &mut self,
+        path: TreePath,
+        cj: OpId,
+        t_succ: Option<NodeId>,
+        f_succ: Option<NodeId>,
+    ) {
+        let node = self.get_mut(path).expect("split_leaf: position must exist");
+        let Tree::Leaf { ops, .. } = node else {
+            panic!("split_leaf: position {path} is not a leaf");
+        };
+        let ops = std::mem::take(ops);
+        *node = Tree::Branch {
+            ops,
+            cj,
+            on_true: Box::new(Tree::leaf(t_succ)),
+            on_false: Box::new(Tree::leaf(f_succ)),
+        };
+    }
+
+    /// Remove the branch at `path`, keeping only the `keep_true` side.
+    /// The branch's ops are merged into the kept subtree's root position.
+    /// Returns the removed conditional jump. Used when splitting a node for
+    /// `move-cj` (the true/false residues each keep one side).
+    pub fn remove_branch(&mut self, path: TreePath, keep_true: bool) -> OpId {
+        let node = self.get_mut(path).expect("remove_branch: position must exist");
+        let Tree::Branch { ops, cj, on_true, on_false } = node else {
+            panic!("remove_branch: position {path} is not a branch");
+        };
+        let cj = *cj;
+        let mut ops = std::mem::take(ops);
+        let mut kept = std::mem::replace(
+            if keep_true { on_true } else { on_false }.as_mut(),
+            Tree::leaf(None),
+        );
+        ops.append(kept.ops_mut());
+        *kept.ops_mut() = ops;
+        *node = kept;
+        cj
+    }
+
+    /// Replace every leaf successor equal to `from` with `to`.
+    pub fn redirect(&mut self, from: NodeId, to: Option<NodeId>) -> usize {
+        fn rec(t: &mut Tree, from: NodeId, to: Option<NodeId>) -> usize {
+            match t {
+                Tree::Leaf { succ, .. } => {
+                    if *succ == Some(from) {
+                        *succ = to;
+                        1
+                    } else {
+                        0
+                    }
+                }
+                Tree::Branch { on_true, on_false, .. } => {
+                    rec(on_true, from, to) + rec(on_false, from, to)
+                }
+            }
+        }
+        rec(self, from, to)
+    }
+
+    /// Count of ordinary (non-cj) operations: the instruction's demand on
+    /// the machine's functional units.
+    pub fn op_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_, t| n += t.ops().len());
+        n
+    }
+
+    /// Number of conditional jumps in the tree.
+    pub fn cj_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_, t| {
+            if matches!(t, Tree::Branch { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// True when the instruction holds neither operations nor jumps.
+    pub fn is_empty(&self) -> bool {
+        self.op_count() == 0 && self.cj_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(i: usize) -> OpId {
+        OpId::new(i)
+    }
+
+    fn sample() -> Tree {
+        // Branch(cj=op0) with op1 at root; true -> Leaf{[op2], n1}; false -> Leaf{[], n2}
+        Tree::Branch {
+            ops: vec![op(1)],
+            cj: op(0),
+            on_true: Box::new(Tree::Leaf { ops: vec![op(2)], succ: Some(NodeId::new(1)) }),
+            on_false: Box::new(Tree::leaf(Some(NodeId::new(2)))),
+        }
+    }
+
+    #[test]
+    fn path_encoding() {
+        let p = TreePath::ROOT.child(true).child(false);
+        assert_eq!(p.len(), 2);
+        assert!(p.decision(0));
+        assert!(!p.decision(1));
+        assert_eq!(p.to_string(), "TF");
+        assert_eq!(p.parent().unwrap().to_string(), "T");
+        assert!(TreePath::ROOT.is_prefix_of(p));
+        assert!(TreePath::ROOT.child(true).is_prefix_of(p));
+        assert!(!TreePath::ROOT.child(false).is_prefix_of(p));
+        assert!(!p.is_prefix_of(TreePath::ROOT.child(true)));
+    }
+
+    #[test]
+    fn walk_and_queries() {
+        let t = sample();
+        assert_eq!(t.op_count(), 2);
+        assert_eq!(t.cj_count(), 1);
+        assert_eq!(t.successors(), vec![NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(t.leaf_paths_to(NodeId::new(2)), vec![TreePath::ROOT.child(false)]);
+        assert_eq!(t.position_of(op(2)), Some(TreePath::ROOT.child(true)));
+        assert_eq!(t.position_of(op(0)), Some(TreePath::ROOT));
+        let placed = t.placed_ops();
+        assert_eq!(placed.len(), 3);
+    }
+
+    #[test]
+    fn remove_and_insert() {
+        let mut t = sample();
+        let pos = t.remove_op(op(2)).unwrap();
+        assert_eq!(pos, TreePath::ROOT.child(true));
+        assert_eq!(t.op_count(), 1);
+        t.insert_op(TreePath::ROOT.child(false), op(2));
+        assert_eq!(t.position_of(op(2)), Some(TreePath::ROOT.child(false)));
+    }
+
+    #[test]
+    fn split_leaf_preserves_ops_position() {
+        let mut t = sample();
+        let p = TreePath::ROOT.child(true);
+        t.split_leaf(p, op(9), Some(NodeId::new(7)), Some(NodeId::new(8)));
+        // old leaf ops now at the branch position => commit on both sides
+        assert_eq!(t.get(p).unwrap().ops(), &[op(2)]);
+        assert_eq!(t.cj_count(), 2);
+        assert_eq!(
+            t.successors(),
+            vec![NodeId::new(7), NodeId::new(8), NodeId::new(2)]
+        );
+    }
+
+    #[test]
+    fn remove_branch_keeps_side_and_merges_ops() {
+        let mut t = sample();
+        let cj = t.remove_branch(TreePath::ROOT, true);
+        assert_eq!(cj, op(0));
+        assert_eq!(t.cj_count(), 0);
+        // root ops (op1) merged with kept side's ops (op2)
+        assert_eq!(t.op_count(), 2);
+        assert_eq!(t.successors(), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn redirect_edges() {
+        let mut t = sample();
+        assert_eq!(t.redirect(NodeId::new(2), Some(NodeId::new(5))), 1);
+        assert_eq!(t.successors(), vec![NodeId::new(1), NodeId::new(5)]);
+        assert_eq!(t.redirect(NodeId::new(99), None), 0);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Tree::leaf(None).is_empty());
+        assert!(!sample().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Runtime values carried by registers and memory cells.
+
+use std::fmt;
+
+/// A dynamically-typed machine word.
+///
+/// The paper's intermediate language manipulates floating point data,
+/// integer induction variables, and boolean condition codes; we model the
+/// three kinds explicitly so the simulator can type-check executions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit float (the Livermore kernels' data).
+    F(f64),
+    /// 64-bit signed integer (induction variables, indices).
+    I(i64),
+    /// Boolean condition produced by compares, consumed by conditional jumps.
+    B(bool),
+}
+
+/// Element type of a memory array.
+///
+/// Speculatively hoisted loads may run with out-of-range indices (the loop
+/// would have exited before their result mattered); the simulator gives such
+/// loads a typed default value — "non-faulting load" semantics — so the
+/// element type must be declared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElemKind {
+    /// `f64` data arrays.
+    F,
+    /// `i64` index arrays (the PIC kernels' indirection vectors).
+    I,
+}
+
+impl ElemKind {
+    /// The value an uninitialized or speculatively-out-of-bounds read sees.
+    pub fn default_value(self) -> Value {
+        match self {
+            ElemKind::F => Value::F(0.0),
+            ElemKind::I => Value::I(0),
+        }
+    }
+}
+
+/// Error produced when a [`Value`] has the wrong type for an operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError {
+    /// What the operation expected, e.g. `"f64"`.
+    pub expected: &'static str,
+    /// What it got, e.g. `"i64"`.
+    pub got: &'static str,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: expected {}, got {}", self.expected, self.got)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl Value {
+    /// Name of the value's type, for diagnostics.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            Value::F(_) => "f64",
+            Value::I(_) => "i64",
+            Value::B(_) => "bool",
+        }
+    }
+
+    /// Extract an `f64` or fail with a [`TypeError`].
+    pub fn as_f(self) -> Result<f64, TypeError> {
+        match self {
+            Value::F(x) => Ok(x),
+            other => Err(TypeError { expected: "f64", got: other.type_name() }),
+        }
+    }
+
+    /// Extract an `i64` or fail with a [`TypeError`].
+    pub fn as_i(self) -> Result<i64, TypeError> {
+        match self {
+            Value::I(x) => Ok(x),
+            other => Err(TypeError { expected: "i64", got: other.type_name() }),
+        }
+    }
+
+    /// Extract a `bool` or fail with a [`TypeError`].
+    pub fn as_b(self) -> Result<bool, TypeError> {
+        match self {
+            Value::B(x) => Ok(x),
+            other => Err(TypeError { expected: "bool", got: other.type_name() }),
+        }
+    }
+
+    /// Bitwise-exact equality (used by the equivalence checker so that
+    /// `NaN == NaN` and `-0.0 != 0.0` are handled deterministically).
+    pub fn bit_eq(self, other: Value) -> bool {
+        match (self, other) {
+            (Value::F(a), Value::F(b)) => a.to_bits() == b.to_bits(),
+            (Value::I(a), Value::I(b)) => a == b,
+            (Value::B(a), Value::B(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::F(x) => write!(f, "{x}"),
+            Value::I(x) => write!(f, "{x}"),
+            Value::B(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::F(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::I(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(x: bool) -> Self {
+        Value::B(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(1.5).as_f(), Ok(1.5));
+        assert_eq!(Value::from(3i64).as_i(), Ok(3));
+        assert_eq!(Value::from(true).as_b(), Ok(true));
+    }
+
+    #[test]
+    fn type_errors_report_kinds() {
+        let err = Value::I(1).as_f().unwrap_err();
+        assert_eq!(err.expected, "f64");
+        assert_eq!(err.got, "i64");
+        assert!(err.to_string().contains("expected f64"));
+    }
+
+    #[test]
+    fn bit_equality_handles_nan_and_zero() {
+        assert!(Value::F(f64::NAN).bit_eq(Value::F(f64::NAN)));
+        assert!(!Value::F(0.0).bit_eq(Value::F(-0.0)));
+        assert!(!Value::I(0).bit_eq(Value::B(false)));
+    }
+}

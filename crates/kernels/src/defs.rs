@@ -1,0 +1,852 @@
+//! The fourteen Livermore kernel definitions.
+//!
+//! Builders and references are written op-for-op in the same floating-point
+//! evaluation order, so the simulator output matches the native output
+//! bitwise. All loops are do-while shaped (the canonical builder latch
+//! tests *after* the body), which the references mirror exactly.
+
+use crate::{input_f, input_ix, Kernel, SLACK};
+use grip_ir::{Graph, OpKind, Operand, ProgramBuilder, RegId, Value};
+
+fn f(v: f64) -> Operand {
+    Operand::Imm(Value::F(v))
+}
+fn r(reg: RegId) -> Operand {
+    Operand::Reg(reg)
+}
+fn fvals(v: Vec<f64>) -> Vec<Value> {
+    v.into_iter().map(Value::F).collect()
+}
+fn ivals(v: Vec<i64>) -> Vec<Value> {
+    v.into_iter().map(Value::I).collect()
+}
+fn farr(ai: usize, len: usize) -> Vec<f64> {
+    (0..len).map(|i| input_f(ai, i)).collect()
+}
+
+/// Standard loop postlude: `k += 1; c = k < n; if c goto head`.
+fn close_loop(b: &mut ProgramBuilder, k: RegId, n: i64) {
+    b.iadd_imm(k, k, 1);
+    let c = b.binary("c", OpKind::CmpLt, r(k), Operand::Imm(Value::I(n)));
+    b.end_loop(c);
+}
+
+// ---------------------------------------------------------------------
+// LL1 — hydro fragment: x[k] = Q + y[k]*(R*z[k+10] + T*z[k+11])
+// ---------------------------------------------------------------------
+const Q1: f64 = 0.5;
+const R1: f64 = 0.25;
+const T1: f64 = 0.37;
+
+fn ll1_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let x = b.array("x", len);
+    let y = b.array("y", len);
+    let z = b.array("z", len);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let z10 = b.load("z10", z, r(k), 10);
+    let t1 = b.binary("t1", OpKind::Mul, f(R1), r(z10));
+    let z11 = b.load("z11", z, r(k), 11);
+    let t2 = b.binary("t2", OpKind::Mul, f(T1), r(z11));
+    let t3 = b.binary("t3", OpKind::Add, r(t1), r(t2));
+    let yk = b.load("yk", y, r(k), 0);
+    let t4 = b.binary("t4", OpKind::Mul, r(yk), r(t3));
+    let t5 = b.binary("t5", OpKind::Add, f(Q1), r(t4));
+    b.store(x, r(k), 0, r(t5));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![k];
+    g
+}
+
+fn ll1_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut x = farr(0, len);
+    let y = farr(1, len);
+    let z = farr(2, len);
+    let mut kk = 0usize;
+    loop {
+        x[kk] = Q1 + y[kk] * (R1 * z[kk + 10] + T1 * z[kk + 11]);
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(x), fvals(y), fvals(z)]
+}
+
+// ---------------------------------------------------------------------
+// LL2 — ICCG-like strided excerpt: x[k] = u[2k] - v[k]*u[2k+1]
+// ---------------------------------------------------------------------
+fn ll2_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let x = b.array("x", len);
+    let u = b.array("u", 2 * len + 2);
+    let v = b.array("v", len);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let k2 = b.binary("k2", OpKind::IMul, r(k), Operand::Imm(Value::I(2)));
+    let a = b.load("a", u, r(k2), 0);
+    let bb = b.load("b", u, r(k2), 1);
+    let c = b.load("vv", v, r(k), 0);
+    let d = b.binary("d", OpKind::Mul, r(c), r(bb));
+    let e = b.binary("e", OpKind::Sub, r(a), r(d));
+    b.store(x, r(k), 0, r(e));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![k];
+    g
+}
+
+fn ll2_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut x = farr(0, len);
+    let u = farr(1, 2 * len + 2);
+    let v = farr(2, len);
+    let mut kk = 0usize;
+    loop {
+        x[kk] = u[2 * kk] - v[kk] * u[2 * kk + 1];
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(x), fvals(u), fvals(v)]
+}
+
+// ---------------------------------------------------------------------
+// LL3 — inner product: q += z[k]*x[k]  (serial reduction)
+// ---------------------------------------------------------------------
+fn ll3_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let z = b.array("z", len);
+    let x = b.array("x", len);
+    let out = b.array("out", 1);
+    let q = b.named_reg("q");
+    b.const_f(q, 0.0);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let a = b.load("a", z, r(k), 0);
+    let c = b.load("b", x, r(k), 0);
+    let m = b.binary("m", OpKind::Mul, r(a), r(c));
+    b.emit(grip_ir::Operation::new(OpKind::Add, Some(q), vec![r(q), r(m)]));
+    close_loop(&mut b, k, n);
+    b.store(out, Operand::Imm(Value::I(0)), 0, r(q));
+    let mut g = b.finish();
+    g.live_out = vec![q, k];
+    g
+}
+
+fn ll3_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let z = farr(0, len);
+    let x = farr(1, len);
+    let mut out = farr(2, 1);
+    let mut q = 0.0f64;
+    let mut kk = 0usize;
+    loop {
+        q += z[kk] * x[kk];
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    out[0] = q;
+    vec![fvals(z), fvals(x), fvals(out)]
+}
+
+// ---------------------------------------------------------------------
+// LL4 — banded linear equations: x[k] -= y[k]*x[k-5]  (distance-5 LCD)
+// ---------------------------------------------------------------------
+fn ll4_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let x = b.array("x", len);
+    let y = b.array("y", len);
+    let k = b.named_reg("k");
+    b.const_i(k, 5);
+    b.begin_loop();
+    let a = b.load("a", x, r(k), -5);
+    let yk = b.load("yk", y, r(k), 0);
+    let m = b.binary("m", OpKind::Mul, r(yk), r(a));
+    let xk = b.load("xk", x, r(k), 0);
+    let s = b.binary("s", OpKind::Sub, r(xk), r(m));
+    b.store(x, r(k), 0, r(s));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![k];
+    g
+}
+
+fn ll4_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut x = farr(0, len);
+    let y = farr(1, len);
+    let mut kk = 5usize;
+    loop {
+        x[kk] -= y[kk] * x[kk - 5];
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(x), fvals(y)]
+}
+
+// ---------------------------------------------------------------------
+// LL5 — tridiagonal elimination: xr = z[k]*(y[k] - xr); x[k] = xr
+// (register-carried first-order recurrence through sub→mul)
+// ---------------------------------------------------------------------
+fn ll5_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let x = b.array("x", len);
+    let y = b.array("y", len);
+    let z = b.array("z", len);
+    let xr = b.named_reg("xr");
+    b.const_f(xr, 0.25);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let zk = b.load("zk", z, r(k), 0);
+    let yk = b.load("yk", y, r(k), 0);
+    let s = b.binary("s", OpKind::Sub, r(yk), r(xr));
+    b.emit(grip_ir::Operation::new(OpKind::Mul, Some(xr), vec![r(zk), r(s)]));
+    b.store(x, r(k), 0, r(xr));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![xr, k];
+    g
+}
+
+fn ll5_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut x = farr(0, len);
+    let y = farr(1, len);
+    let z = farr(2, len);
+    let mut xr = 0.25f64;
+    let mut kk = 0usize;
+    loop {
+        xr = z[kk] * (y[kk] - xr);
+        x[kk] = xr;
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(x), fvals(y), fvals(z)]
+}
+
+// ---------------------------------------------------------------------
+// LL6 — general linear recurrence (2nd order):
+// w = w1*b[k] + w2*c[k]; w2 = w1; w1 = w; out[k] = w
+// ---------------------------------------------------------------------
+fn ll6_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let w_arr = b.array("w", len);
+    let bb = b.array("b", len);
+    let cc = b.array("c", len);
+    let w1 = b.named_reg("w1");
+    b.const_f(w1, 0.5);
+    let w2 = b.named_reg("w2");
+    b.const_f(w2, 0.25);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let lb = b.load("lb", bb, r(k), 0);
+    let lc = b.load("lc", cc, r(k), 0);
+    let m1 = b.binary("m1", OpKind::Mul, r(w1), r(lb));
+    let m2 = b.binary("m2", OpKind::Mul, r(w2), r(lc));
+    let w = b.binary("w", OpKind::Add, r(m1), r(m2));
+    b.store(w_arr, r(k), 0, r(w));
+    b.copy(w2, r(w1));
+    b.copy(w1, r(w));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![w1, w2, k];
+    g
+}
+
+fn ll6_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut w_arr = farr(0, len);
+    let bb = farr(1, len);
+    let cc = farr(2, len);
+    let (mut w1, mut w2) = (0.5f64, 0.25f64);
+    let mut kk = 0usize;
+    loop {
+        let w = w1 * bb[kk] + w2 * cc[kk];
+        w_arr[kk] = w;
+        w2 = w1;
+        w1 = w;
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(w_arr), fvals(bb), fvals(cc)]
+}
+
+// ---------------------------------------------------------------------
+// LL7 — equation of state fragment (wide vectorizable expression)
+// ---------------------------------------------------------------------
+const R7: f64 = 0.7;
+const T7: f64 = 0.3;
+
+fn ll7_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let x = b.array("x", len);
+    let u = b.array("u", len);
+    let y = b.array("y", len);
+    let z = b.array("z", len);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let u0 = b.load("u0", u, r(k), 0);
+    let zk = b.load("zk", z, r(k), 0);
+    let yk = b.load("yk", y, r(k), 0);
+    let u1 = b.load("u1", u, r(k), 1);
+    let u2 = b.load("u2", u, r(k), 2);
+    let u3 = b.load("u3", u, r(k), 3);
+    let u4 = b.load("u4", u, r(k), 4);
+    let u5 = b.load("u5", u, r(k), 5);
+    let u6 = b.load("u6", u, r(k), 6);
+    let a1 = b.binary("a1", OpKind::Mul, f(R7), r(yk));
+    let a2 = b.binary("a2", OpKind::Add, r(zk), r(a1));
+    let a3 = b.binary("a3", OpKind::Mul, f(R7), r(a2));
+    let b1 = b.binary("b1", OpKind::Mul, f(R7), r(u1));
+    let b2 = b.binary("b2", OpKind::Add, r(u2), r(b1));
+    let b3 = b.binary("b3", OpKind::Mul, f(R7), r(b2));
+    let b4 = b.binary("b4", OpKind::Add, r(u3), r(b3));
+    let c1 = b.binary("c1", OpKind::Mul, f(R7), r(u4));
+    let c2 = b.binary("c2", OpKind::Add, r(u5), r(c1));
+    let c3 = b.binary("c3", OpKind::Mul, f(R7), r(c2));
+    let c4 = b.binary("c4", OpKind::Add, r(u6), r(c3));
+    let d1 = b.binary("d1", OpKind::Mul, f(T7), r(c4));
+    let d2 = b.binary("d2", OpKind::Add, r(b4), r(d1));
+    let d3 = b.binary("d3", OpKind::Mul, f(T7), r(d2));
+    let e1 = b.binary("e1", OpKind::Add, r(u0), r(a3));
+    let e2 = b.binary("e2", OpKind::Add, r(e1), r(d3));
+    b.store(x, r(k), 0, r(e2));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![k];
+    g
+}
+
+fn ll7_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut x = farr(0, len);
+    let u = farr(1, len);
+    let y = farr(2, len);
+    let z = farr(3, len);
+    let mut kk = 0usize;
+    loop {
+        let a3 = R7 * (z[kk] + R7 * y[kk]);
+        let b4 = u[kk + 3] + R7 * (u[kk + 2] + R7 * u[kk + 1]);
+        let c4 = u[kk + 6] + R7 * (u[kk + 5] + R7 * u[kk + 4]);
+        let d3 = T7 * (b4 + T7 * c4);
+        x[kk] = (u[kk] + a3) + d3;
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(x), fvals(u), fvals(y), fvals(z)]
+}
+
+// ---------------------------------------------------------------------
+// LL8 — ADI sweep excerpt with a distance-1 memory recurrence:
+// u1n[k] = A11*(u1[k+1]-u1[k-1]) + A12*u1n[k-1]
+// ---------------------------------------------------------------------
+const A11: f64 = 0.45;
+const A12: f64 = 0.55;
+
+fn ll8_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let u1n = b.array("u1n", len);
+    let u1 = b.array("u1", len);
+    let k = b.named_reg("k");
+    b.const_i(k, 1);
+    b.begin_loop();
+    let hi = b.load("hi", u1, r(k), 1);
+    let lo = b.load("lo", u1, r(k), -1);
+    let du = b.binary("du", OpKind::Sub, r(hi), r(lo));
+    let t1 = b.binary("t1", OpKind::Mul, f(A11), r(du));
+    let prev = b.load("pv", u1n, r(k), -1);
+    let t2 = b.binary("t2", OpKind::Mul, f(A12), r(prev));
+    let t3 = b.binary("t3", OpKind::Add, r(t1), r(t2));
+    b.store(u1n, r(k), 0, r(t3));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![k];
+    g
+}
+
+fn ll8_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut u1n = farr(0, len);
+    let u1 = farr(1, len);
+    let mut kk = 1usize;
+    loop {
+        u1n[kk] = A11 * (u1[kk + 1] - u1[kk - 1]) + A12 * u1n[kk - 1];
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(u1n), fvals(u1)]
+}
+
+// ---------------------------------------------------------------------
+// LL9 — integrate predictors (flat vectorizable polynomial)
+// ---------------------------------------------------------------------
+const C0: f64 = 1.1;
+const C1: f64 = 0.9;
+const C2: f64 = 0.8;
+const C3: f64 = 0.6;
+const C4: f64 = 0.4;
+
+fn ll9_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let px = b.array("px", len);
+    let p1 = b.array("p1", len);
+    let p2 = b.array("p2", len);
+    let p3 = b.array("p3", len);
+    let p4 = b.array("p4", len);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let l1 = b.load("l1", p1, r(k), 0);
+    let m1 = b.binary("m1", OpKind::Mul, f(C1), r(l1));
+    let l2 = b.load("l2", p2, r(k), 0);
+    let m2 = b.binary("m2", OpKind::Mul, f(C2), r(l2));
+    let l3 = b.load("l3", p3, r(k), 0);
+    let m3 = b.binary("m3", OpKind::Mul, f(C3), r(l3));
+    let l4 = b.load("l4", p4, r(k), 0);
+    let m4 = b.binary("m4", OpKind::Mul, f(C4), r(l4));
+    let s1 = b.binary("s1", OpKind::Add, f(C0), r(m1));
+    let s2 = b.binary("s2", OpKind::Add, r(s1), r(m2));
+    let s3 = b.binary("s3", OpKind::Add, r(s2), r(m3));
+    let s4 = b.binary("s4", OpKind::Add, r(s3), r(m4));
+    b.store(px, r(k), 0, r(s4));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![k];
+    g
+}
+
+fn ll9_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut px = farr(0, len);
+    let p1 = farr(1, len);
+    let p2 = farr(2, len);
+    let p3 = farr(3, len);
+    let p4 = farr(4, len);
+    let mut kk = 0usize;
+    loop {
+        px[kk] = (((C0 + C1 * p1[kk]) + C2 * p2[kk]) + C3 * p3[kk]) + C4 * p4[kk];
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(px), fvals(p1), fvals(p2), fvals(p3), fvals(p4)]
+}
+
+// ---------------------------------------------------------------------
+// LL10 — difference predictors (vectorizable, deep intra-iteration chain)
+// ---------------------------------------------------------------------
+fn ll10_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let cx = b.array("cx", len);
+    let px0 = b.array("px0", len);
+    let px1 = b.array("px1", len);
+    let px2 = b.array("px2", len);
+    let px3 = b.array("px3", len);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let ar = b.load("ar", cx, r(k), 0);
+    let b0 = b.load("b0", px0, r(k), 0);
+    let d0 = b.binary("d0", OpKind::Sub, r(ar), r(b0));
+    b.store(px0, r(k), 0, r(ar));
+    let b1 = b.load("b1", px1, r(k), 0);
+    let d1 = b.binary("d1", OpKind::Sub, r(d0), r(b1));
+    b.store(px1, r(k), 0, r(d0));
+    let b2 = b.load("b2", px2, r(k), 0);
+    let d2 = b.binary("d2", OpKind::Sub, r(d1), r(b2));
+    b.store(px2, r(k), 0, r(d1));
+    let b3 = b.load("b3", px3, r(k), 0);
+    let d3 = b.binary("d3", OpKind::Sub, r(d2), r(b3));
+    b.store(px3, r(k), 0, r(d2));
+    b.store(cx, r(k), 0, r(d3));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![k];
+    g
+}
+
+fn ll10_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut cx = farr(0, len);
+    let mut px0 = farr(1, len);
+    let mut px1 = farr(2, len);
+    let mut px2 = farr(3, len);
+    let mut px3 = farr(4, len);
+    let mut kk = 0usize;
+    loop {
+        let ar = cx[kk];
+        let d0 = ar - px0[kk];
+        px0[kk] = ar;
+        let d1 = d0 - px1[kk];
+        px1[kk] = d0;
+        let d2 = d1 - px2[kk];
+        px2[kk] = d1;
+        let d3 = d2 - px3[kk];
+        px3[kk] = d2;
+        cx[kk] = d3;
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(cx), fvals(px0), fvals(px1), fvals(px2), fvals(px3)]
+}
+
+// ---------------------------------------------------------------------
+// LL11 — first sum (prefix sum): s += y[k]; x[k] = s
+// ---------------------------------------------------------------------
+fn ll11_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let x = b.array("x", len);
+    let y = b.array("y", len);
+    let s = b.named_reg("s");
+    b.const_f(s, 0.0);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let yk = b.load("yk", y, r(k), 0);
+    b.emit(grip_ir::Operation::new(OpKind::Add, Some(s), vec![r(s), r(yk)]));
+    b.store(x, r(k), 0, r(s));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![s, k];
+    g
+}
+
+fn ll11_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut x = farr(0, len);
+    let y = farr(1, len);
+    let mut s = 0.0f64;
+    let mut kk = 0usize;
+    loop {
+        s += y[kk];
+        x[kk] = s;
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(x), fvals(y)]
+}
+
+// ---------------------------------------------------------------------
+// LL12 — first difference: x[k] = y[k+1] - y[k]
+// ---------------------------------------------------------------------
+fn ll12_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let x = b.array("x", len);
+    let y = b.array("y", len);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let hi = b.load("hi", y, r(k), 1);
+    let lo = b.load("lo", y, r(k), 0);
+    let d = b.binary("d", OpKind::Sub, r(hi), r(lo));
+    b.store(x, r(k), 0, r(d));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![k];
+    g
+}
+
+fn ll12_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let mut x = farr(0, len);
+    let y = farr(1, len);
+    let mut kk = 0usize;
+    loop {
+        x[kk] = y[kk + 1] - y[kk];
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![fvals(x), fvals(y)]
+}
+
+// ---------------------------------------------------------------------
+// LL13 — 2-D particle in cell (indirect gather + scatter on y, parallel
+// field update on vxa)
+// ---------------------------------------------------------------------
+const C13: f64 = 0.99;
+
+fn ll13_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let ix = b.iarray("ix", len);
+    let y = b.array("y", len);
+    let z = b.array("z", len);
+    let vxa = b.array("vxa", len);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let i1 = b.load("i1", ix, r(k), 0);
+    let t = b.load("t", y, r(i1), 0);
+    let zk = b.load("zk", z, r(k), 0);
+    let t2 = b.binary("t2", OpKind::Add, r(t), r(zk));
+    b.store(y, r(i1), 0, r(t2));
+    let vx = b.load("vx", vxa, r(k), 0);
+    let vx2 = b.binary("vx2", OpKind::Mul, r(vx), f(C13));
+    b.store(vxa, r(k), 0, r(vx2));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![k];
+    g
+}
+
+fn ll13_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let ix: Vec<i64> = (0..len).map(|i| input_ix(0, i, n)).collect();
+    let mut y = farr(1, len);
+    let z = farr(2, len);
+    let mut vxa = farr(3, len);
+    let mut kk = 0usize;
+    loop {
+        let i1 = ix[kk] as usize;
+        y[i1] += z[kk];
+        vxa[kk] *= C13;
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![ivals(ix), fvals(y), fvals(z), fvals(vxa)]
+}
+
+// ---------------------------------------------------------------------
+// LL14 — 1-D particle in cell (gather + direct update + scatter-accumulate)
+// ---------------------------------------------------------------------
+fn ll14_build(n: i64) -> Graph {
+    let len = n as usize + SLACK;
+    let mut b = ProgramBuilder::new();
+    let ix = b.iarray("ix", len);
+    let grd = b.array("grd", len);
+    let rho = b.array("rho", len);
+    let vel = b.array("vel", len);
+    let k = b.named_reg("k");
+    b.const_i(k, 0);
+    b.begin_loop();
+    let ir = b.load("ir", ix, r(k), 0);
+    let rx = b.load("rx", grd, r(ir), 0);
+    let v = b.load("v", vel, r(k), 0);
+    let v2 = b.binary("v2", OpKind::Add, r(v), r(rx));
+    b.store(vel, r(k), 0, r(v2));
+    let r1 = b.load("r1", rho, r(ir), 0);
+    let r2 = b.binary("r2", OpKind::Add, r(r1), r(v2));
+    b.store(rho, r(ir), 0, r(r2));
+    close_loop(&mut b, k, n);
+    let mut g = b.finish();
+    g.live_out = vec![k];
+    g
+}
+
+fn ll14_ref(n: i64) -> Vec<Vec<Value>> {
+    let len = n as usize + SLACK;
+    let ix: Vec<i64> = (0..len).map(|i| input_ix(0, i, n)).collect();
+    let grd = farr(1, len);
+    let mut rho = farr(2, len);
+    let mut vel = farr(3, len);
+    let mut kk = 0usize;
+    loop {
+        let ir = ix[kk] as usize;
+        let v2 = vel[kk] + grd[ir];
+        vel[kk] = v2;
+        rho[ir] += v2;
+        kk += 1;
+        if (kk as i64) >= n {
+            break;
+        }
+    }
+    vec![ivals(ix), fvals(grd), fvals(rho), fvals(vel)]
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+/// The fourteen kernels with the paper's Table 1 rows.
+pub fn kernels() -> &'static [Kernel] {
+    use crate::default_init;
+    static KERNELS: std::sync::OnceLock<Vec<Kernel>> = std::sync::OnceLock::new();
+    KERNELS.get_or_init(|| {
+        vec![
+            Kernel {
+                name: "LL1",
+                description: "hydro fragment x[k]=Q+y[k]*(R*z[k+10]+T*z[k+11])",
+                class: "vectorizable",
+                paper_grip: [2.0, 4.0, 7.9],
+                paper_post: [2.0, 3.5, 7.0],
+                build: ll1_build,
+                init: default_init,
+                reference: ll1_ref,
+            },
+            Kernel {
+                name: "LL2",
+                description: "ICCG-like strided excerpt x[k]=u[2k]-v[k]*u[2k+1]",
+                class: "strided",
+                paper_grip: [2.0, 3.8, 7.3],
+                paper_post: [1.9, 3.6, 6.9],
+                build: ll2_build,
+                init: default_init,
+                reference: ll2_ref,
+            },
+            Kernel {
+                name: "LL3",
+                description: "inner product q += z[k]*x[k]",
+                class: "reduction",
+                paper_grip: [2.0, 4.0, 8.0],
+                paper_post: [1.8, 3.0, 4.5],
+                build: ll3_build,
+                init: default_init,
+                reference: ll3_ref,
+            },
+            Kernel {
+                name: "LL4",
+                description: "banded linear equations x[k]-=y[k]*x[k-5]",
+                class: "banded recurrence",
+                paper_grip: [2.0, 4.3, 8.4],
+                paper_post: [2.0, 3.9, 5.9],
+                build: ll4_build,
+                init: default_init,
+                reference: ll4_ref,
+            },
+            Kernel {
+                name: "LL5",
+                description: "tridiagonal elimination xr=z[k]*(y[k]-xr)",
+                class: "1st-order recurrence",
+                paper_grip: [2.0, 4.4, 5.5],
+                paper_post: [2.2, 3.7, 5.5],
+                build: ll5_build,
+                init: default_init,
+                reference: ll5_ref,
+            },
+            Kernel {
+                name: "LL6",
+                description: "general linear recurrence w=w1*b[k]+w2*c[k]",
+                class: "2nd-order recurrence",
+                paper_grip: [2.0, 3.6, 3.6],
+                paper_post: [1.8, 2.8, 3.3],
+                build: ll6_build,
+                init: default_init,
+                reference: ll6_ref,
+            },
+            Kernel {
+                name: "LL7",
+                description: "equation of state fragment (25-op expression)",
+                class: "vectorizable",
+                paper_grip: [2.0, 4.0, 7.9],
+                paper_post: [1.9, 3.9, 7.6],
+                build: ll7_build,
+                init: default_init,
+                reference: ll7_ref,
+            },
+            Kernel {
+                name: "LL8",
+                description: "ADI sweep with distance-1 memory recurrence",
+                class: "recurrence",
+                paper_grip: [2.0, 3.4, 4.3],
+                paper_post: [1.9, 3.1, 4.0],
+                build: ll8_build,
+                init: default_init,
+                reference: ll8_ref,
+            },
+            Kernel {
+                name: "LL9",
+                description: "integrate predictors (flat polynomial)",
+                class: "vectorizable",
+                paper_grip: [2.0, 4.0, 7.9],
+                paper_post: [2.0, 3.9, 7.7],
+                build: ll9_build,
+                init: default_init,
+                reference: ll9_ref,
+            },
+            Kernel {
+                name: "LL10",
+                description: "difference predictors (deep intra-iteration chain)",
+                class: "vectorizable",
+                paper_grip: [2.0, 4.0, 7.1],
+                paper_post: [2.0, 2.9, 3.6],
+                build: ll10_build,
+                init: default_init,
+                reference: ll10_ref,
+            },
+            Kernel {
+                name: "LL11",
+                description: "first sum s += y[k]; x[k] = s",
+                class: "1st-order recurrence",
+                paper_grip: [2.3, 4.5, 8.9],
+                paper_post: [2.3, 4.5, 8.9],
+                build: ll11_build,
+                init: default_init,
+                reference: ll11_ref,
+            },
+            Kernel {
+                name: "LL12",
+                description: "first difference x[k] = y[k+1]-y[k]",
+                class: "vectorizable",
+                paper_grip: [2.0, 4.0, 8.0],
+                paper_post: [1.8, 3.0, 4.5],
+                build: ll12_build,
+                init: default_init,
+                reference: ll12_ref,
+            },
+            Kernel {
+                name: "LL13",
+                description: "2-D particle in cell (indirect scatter)",
+                class: "indirect",
+                paper_grip: [2.1, 3.0, 3.0],
+                paper_post: [1.9, 2.7, 3.0],
+                build: ll13_build,
+                init: default_init,
+                reference: ll13_ref,
+            },
+            Kernel {
+                name: "LL14",
+                description: "1-D particle in cell (gather/scatter mix)",
+                class: "indirect",
+                paper_grip: [1.9, 3.7, 4.8],
+                paper_post: [1.9, 3.2, 4.5],
+                build: ll14_build,
+                init: default_init,
+                reference: ll14_ref,
+            },
+        ]
+    })
+}

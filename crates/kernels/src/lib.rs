@@ -1,0 +1,151 @@
+//! # grip-kernels — the Livermore Loops workload suite
+//!
+//! The fourteen Livermore kernels of the paper's Table 1, expressed as
+//! canonical sequential program graphs (one operation per instruction, the
+//! form the UCI compiler's GCC front end produced), each paired with a
+//! native Rust reference implementation and deterministic input data.
+//!
+//! The kernels keep the *dependence structure* that drives Table 1's
+//! shape: vectorizable streams (LL1, LL7, LL9, LL10, LL12), reductions
+//! (LL3), first/second-order and banded recurrences (LL4, LL5, LL6, LL8,
+//! LL11), strided access (LL2), and indirect particle-in-cell
+//! gather/scatter (LL13, LL14). Absolute op counts differ from the 1992
+//! Fortran/GCC originals, so EXPERIMENTS.md compares shapes, not cells.
+//!
+//! Every kernel is validated by running its sequential graph on the VLIW
+//! simulator and comparing all memory bitwise against the native
+//! reference.
+
+#![warn(missing_docs)]
+
+mod defs;
+
+pub use defs::kernels;
+
+use grip_ir::{ArrayId, Graph, Value};
+use grip_vm::Machine;
+
+/// One Livermore kernel: builder, inputs, native reference, and the
+/// paper's Table 1 row for side-by-side reporting.
+pub struct Kernel {
+    /// Short name, e.g. `"LL1"`.
+    pub name: &'static str,
+    /// What the loop computes.
+    pub description: &'static str,
+    /// Dependence class (for the report).
+    pub class: &'static str,
+    /// Paper Table 1 GRiP speedups at 2/4/8 FUs.
+    pub paper_grip: [f64; 3],
+    /// Paper Table 1 POST speedups at 2/4/8 FUs.
+    pub paper_post: [f64; 3],
+    /// Build the sequential program graph for trip count `n`.
+    pub build: fn(n: i64) -> Graph,
+    /// Fill machine inputs (deterministic).
+    pub init: fn(&Graph, &mut Machine, n: i64),
+    /// Native result: final contents of every array, in declaration order.
+    pub reference: fn(n: i64) -> Vec<Vec<Value>>,
+}
+
+/// Extra array headroom shared by builders and references: covers the
+/// largest static offset (LL7's `k+6`, LL1's `k+11`) plus speculation
+/// depth from deep unwinding.
+pub const SLACK: usize = 64;
+
+/// Deterministic input value for float array `ai`, element `i` — shared by
+/// the machine initializer and the native references.
+pub fn input_f(ai: usize, i: usize) -> f64 {
+    // Small magnitudes keep recurrences bounded over hundreds of
+    // iterations; the exact values are arbitrary but fixed.
+    let x = ((i * 31 + ai * 17 + 7) % 97) as f64;
+    0.01 * x + 0.1
+}
+
+/// Deterministic in-bounds index for index array `ai`, element `i`.
+pub fn input_ix(ai: usize, i: usize, n: i64) -> i64 {
+    ((i * 13 + ai * 5 + 3) as i64 * 7) % n.max(1)
+}
+
+/// Fill every array of `g` with the standard deterministic inputs
+/// (float arrays via [`input_f`], index arrays via [`input_ix`]).
+pub fn default_init(g: &Graph, m: &mut Machine, n: i64) {
+    for (ai, info) in g.arrays().iter().enumerate() {
+        match info.elem {
+            grip_ir::ElemKind::F => {
+                let vals: Vec<f64> = (0..info.len).map(|i| input_f(ai, i)).collect();
+                m.set_array_f(ArrayId::new(ai), &vals);
+            }
+            grip_ir::ElemKind::I => {
+                let vals: Vec<i64> = (0..info.len).map(|i| input_ix(ai, i, n)).collect();
+                m.set_array_i(ArrayId::new(ai), &vals);
+            }
+        }
+    }
+}
+
+/// Build + run a kernel's sequential graph and compare every array against
+/// the native reference, bitwise. Returns the simulator stats on success.
+pub fn validate(k: &Kernel, n: i64) -> Result<grip_vm::RunStats, String> {
+    let g = (k.build)(n);
+    g.validate().map_err(|e| format!("{}: invalid graph: {e}", k.name))?;
+    let mut m = Machine::for_graph(&g);
+    (k.init)(&g, &mut m, n);
+    let stats = m
+        .run(&g)
+        .map_err(|e| format!("{}: execution failed: {e}", k.name))?;
+    let expect = (k.reference)(n);
+    if expect.len() != g.arrays().len() {
+        return Err(format!("{}: reference array count mismatch", k.name));
+    }
+    for (ai, want) in expect.iter().enumerate() {
+        for (i, w) in want.iter().enumerate() {
+            let got = m.array_cell(ArrayId::new(ai), i);
+            if !got.bit_eq(*w) {
+                return Err(format!(
+                    "{}: array {}[{i}] = {got}, reference says {w}",
+                    k.name,
+                    g.arrays()[ai].name
+                ));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_named() {
+        let ks = kernels();
+        assert_eq!(ks.len(), 14);
+        for (i, k) in ks.iter().enumerate() {
+            assert_eq!(k.name, format!("LL{}", i + 1));
+            assert!(!k.description.is_empty());
+            assert!(k.paper_grip.iter().all(|&s| s > 1.0));
+        }
+    }
+
+    #[test]
+    fn all_kernels_match_their_references() {
+        for k in kernels() {
+            for n in [1i64, 7, 33] {
+                validate(k, n).unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_have_canonical_loop_shape() {
+        for k in kernels() {
+            let g = (k.build)(16);
+            let li = g.loop_info.unwrap_or_else(|| panic!("{}: no loop", k.name));
+            // one op per node from head to latch
+            let mut cur = li.head;
+            while cur != li.latch {
+                assert_eq!(g.node_op_count(cur), 1, "{}: node {cur}", k.name);
+                cur = g.successors(cur)[0];
+            }
+        }
+    }
+}

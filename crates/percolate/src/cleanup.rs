@@ -1,0 +1,251 @@
+//! Redundant-operation removal and empty-node deletion.
+//!
+//! §4: "As a result of compaction, some operations in the original code
+//! become redundant and are removed ... best performed incrementally as
+//! part of the scheduling process in order to ensure that unnecessary
+//! operations do not compete with useful operations for resources."
+
+use crate::ctx::Ctx;
+use grip_ir::{Graph, NodeId, OpId};
+
+/// Remove `op` from `n` if its result can never be observed. Pure ops only
+/// (loads are removable too: they are non-faulting and side-effect free in
+/// this machine model); stores and jumps never die here.
+pub fn remove_if_dead(g: &mut Graph, ctx: &Ctx<'_>, n: NodeId, op: OpId) -> bool {
+    let o = g.op(op);
+    let Some(d) = o.dest else { return false };
+    if o.kind.is_cj() || o.kind.is_store() {
+        return false;
+    }
+    if ctx.lv.dest_is_dead(g, n, op, d) {
+        g.remove_op_from(n, op);
+        true
+    } else {
+        false
+    }
+}
+
+/// Sweep `nodes` removing dead pure ops until a fixpoint. Refreshes the
+/// context's liveness before each pass (removals expose more removals).
+/// Returns the number of ops removed.
+pub fn eliminate_dead_ops(g: &mut Graph, ctx: &mut Ctx<'_>, nodes: &[NodeId]) -> usize {
+    let mut removed = 0;
+    loop {
+        ctx.refresh(g);
+        let mut pass = 0;
+        for &n in nodes {
+            if !g.node_exists(n) {
+                continue;
+            }
+            let ops: Vec<OpId> = g.node_ops(n).into_iter().map(|(_, o)| o).collect();
+            for op in ops {
+                if remove_if_dead(g, ctx, n, op) {
+                    pass += 1;
+                }
+            }
+        }
+        removed += pass;
+        if pass == 0 {
+            return removed;
+        }
+    }
+}
+
+/// Forward-substitute single-def register copies.
+///
+/// For a copy `d ← s` where both `d` and `s` have exactly one static
+/// definition, a reader of `d` may read `s` instead as long as no
+/// execution can pass `s`'s (re)definition — or a fresh execution of the
+/// copy — between the copy and the read. On the cyclic window graphs this
+/// is computed as forward reachability from the copy that stops at `s`'s
+/// defining node and at the copy's own node (readers *in* the stopping
+/// nodes still fetch entry values and remain rewritable).
+///
+/// The copy is removed once nothing reads `d` and `d` is not observable at
+/// exit. This is the global form of §2 copy bypassing; it is what lets the
+/// carried/renaming copies of the unwound kernels die instead of competing
+/// for functional units.
+pub fn propagate_copies(g: &mut Graph, ctx: &mut Ctx<'_>) -> usize {
+    use std::collections::{HashMap, HashSet};
+    let mut removed = 0;
+    loop {
+        let nodes: Vec<NodeId> = g.node_ids().collect();
+        let mut def_count: HashMap<grip_ir::RegId, u32> = HashMap::new();
+        let mut def_node: HashMap<grip_ir::RegId, NodeId> = HashMap::new();
+        let mut copies: Vec<(NodeId, OpId, grip_ir::RegId, grip_ir::RegId)> = Vec::new();
+        for &n in &nodes {
+            for (_, op) in g.node_ops(n) {
+                let o = g.op(op);
+                if let Some(d) = o.dest {
+                    *def_count.entry(d).or_insert(0) += 1;
+                    def_node.insert(d, n);
+                }
+                if o.is_reg_copy() {
+                    if let (Some(d), Some(src)) = (o.dest, o.src[0].reg()) {
+                        copies.push((n, op, d, src));
+                    }
+                }
+            }
+        }
+        let mut pass = 0;
+        for (cn, op, _d0, _s0) in copies {
+            if !g.node_exists(cn) || g.placement(op) != Some(cn) {
+                continue;
+            }
+            // Re-read the copy's operands: earlier rewrites in this pass may
+            // have redirected its source.
+            let o = g.op(op);
+            if !o.is_reg_copy() {
+                continue;
+            }
+            let (Some(d), Some(src)) = (o.dest, o.src[0].reg()) else { continue };
+            if d == src
+                || def_count.get(&d).copied() != Some(1)
+                || def_count.get(&src).copied() != Some(1)
+            {
+                continue;
+            }
+            let s_def = def_node.get(&src).copied();
+            // Forward reachability from the copy, stopping at s's def node
+            // and at the copy's node (either resets the value relation).
+            let mut visited: HashSet<NodeId> = HashSet::new();
+            let mut stack: Vec<NodeId> = g.unique_successors(cn);
+            while let Some(m) = stack.pop() {
+                if !visited.insert(m) {
+                    continue;
+                }
+                if Some(m) == s_def || m == cn {
+                    continue; // include readers here, do not go past
+                }
+                stack.extend(g.unique_successors(m));
+            }
+            // Readers co-located with the copy fetch the *previous*
+            // execution's value at entry; they must keep reading d.
+            visited.remove(&cn);
+            // Rewrite readers inside the safe set.
+            let mut rewritten_all = true;
+            for &m in &nodes {
+                if !g.node_exists(m) {
+                    continue;
+                }
+                let ops: Vec<OpId> = g.node_ops(m).into_iter().map(|(_, o)| o).collect();
+                for reader in ops {
+                    if reader == op {
+                        continue;
+                    }
+                    let reads_d = g.op(reader).src.iter().any(|x| x.reg() == Some(d));
+                    if !reads_d {
+                        continue;
+                    }
+                    if visited.contains(&m) {
+                        let o = g.op_mut(reader);
+                        for slot in o.src.iter_mut() {
+                            if slot.reg() == Some(d) {
+                                *slot = grip_ir::Operand::Reg(src);
+                            }
+                        }
+                    } else {
+                        rewritten_all = false;
+                    }
+                }
+            }
+            if rewritten_all && !g.live_out.contains(&d) && g.node_exists(cn) {
+                g.remove_op_from(cn, op);
+                // d has no definition now: no later copy in this pass may
+                // treat it as single-def.
+                def_count.insert(d, 0);
+                pass += 1;
+            }
+        }
+        removed += pass;
+        if pass == 0 {
+            break;
+        }
+    }
+    if removed > 0 {
+        ctx.refresh(g);
+    }
+    removed
+}
+
+/// Delete `n` if it holds no operations and no jumps, splicing its
+/// predecessors to its successor. Returns true if deleted.
+pub fn try_delete_empty(g: &mut Graph, ctx: &mut Ctx<'_>, n: NodeId) -> bool {
+    if n == g.entry || !g.node_exists(n) {
+        return false;
+    }
+    let instr = g.node(n);
+    if !instr.tree.is_empty() {
+        return false;
+    }
+    let succs = instr.tree.successors();
+    if succs.first().copied() == Some(n) {
+        return false; // degenerate self-loop
+    }
+    g.delete_empty_node(n);
+    ctx.refresh_preds(g);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grip_analysis::Ddg;
+    use grip_ir::{OpKind, Operand, ProgramBuilder, Value};
+
+    #[test]
+    fn dead_ops_cascade() {
+        // a=1; b=a+1; c=b+1 with nothing live: all three die.
+        let mut b = ProgramBuilder::new();
+        let a = b.named_reg("a");
+        b.const_i(a, 1);
+        let b1 = b.binary("b", OpKind::IAdd, Operand::Reg(a), Operand::Imm(Value::I(1)));
+        let _c = b.binary("c", OpKind::IAdd, Operand::Reg(b1), Operand::Imm(Value::I(1)));
+        let mut g = b.finish();
+        let ddg = Ddg::build(&g, g.entry);
+        let mut ctx = Ctx::new(&g, &ddg);
+        let nodes: Vec<_> = g.reachable();
+        let removed = eliminate_dead_ops(&mut g, &mut ctx, &nodes);
+        assert_eq!(removed, 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn live_out_protects_chain() {
+        let mut b = ProgramBuilder::new();
+        let a = b.named_reg("a");
+        b.const_i(a, 1);
+        let b1 = b.binary("b", OpKind::IAdd, Operand::Reg(a), Operand::Imm(Value::I(1)));
+        let c = b.binary("c", OpKind::IAdd, Operand::Reg(b1), Operand::Imm(Value::I(1)));
+        b.live_out(c);
+        let mut g = b.finish();
+        let ddg = Ddg::build(&g, g.entry);
+        let mut ctx = Ctx::new(&g, &ddg);
+        let nodes: Vec<_> = g.reachable();
+        assert_eq!(eliminate_dead_ops(&mut g, &mut ctx, &nodes), 0);
+    }
+
+    #[test]
+    fn empty_nodes_splice_out() {
+        let mut b = ProgramBuilder::new();
+        let a = b.named_reg("a");
+        b.const_i(a, 1);
+        let dead = b.binary("d", OpKind::IAdd, Operand::Reg(a), Operand::Imm(Value::I(1)));
+        let c = b.binary("c", OpKind::IAdd, Operand::Reg(a), Operand::Imm(Value::I(2)));
+        b.live_out(c);
+        let mut g = b.finish();
+        let _ = dead;
+        let ddg = Ddg::build(&g, g.entry);
+        let mut ctx = Ctx::new(&g, &ddg);
+        let nodes: Vec<_> = g.reachable();
+        let before = g.reachable().len();
+        assert_eq!(eliminate_dead_ops(&mut g, &mut ctx, &nodes), 1);
+        let empties: Vec<_> =
+            g.reachable().into_iter().filter(|&n| g.node(n).tree.is_empty() && n != g.entry).collect();
+        for n in empties {
+            assert!(try_delete_empty(&mut g, &mut ctx, n));
+        }
+        assert_eq!(g.reachable().len(), before - 1);
+        g.validate().unwrap();
+    }
+}

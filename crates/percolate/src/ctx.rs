@@ -1,0 +1,40 @@
+//! Shared analysis state threaded through the core transformations.
+
+use grip_analysis::{Ddg, Liveness};
+use grip_ir::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Analysis context for a percolation session: the (immutable) memory
+/// dependence graph plus incrementally-maintained liveness and predecessor
+/// maps.
+///
+/// Liveness is maintained *grow-only* between [`Ctx::refresh`] calls, which
+/// can only over-approximate (spurious renamings, never unsound motion);
+/// callers refresh at convenient boundaries (e.g. after each scheduled
+/// node) to regain precision for dead-code removal.
+pub struct Ctx<'a> {
+    /// Memory dependences, keyed by `orig` op ids (see `grip-analysis`).
+    pub ddg: &'a Ddg,
+    /// Live-in register sets.
+    pub lv: Liveness,
+    /// Predecessor map, refreshed after structural edits.
+    pub preds: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Build a context for the current graph state.
+    pub fn new(g: &Graph, ddg: &'a Ddg) -> Ctx<'a> {
+        Ctx { ddg, lv: Liveness::compute(g), preds: g.predecessors() }
+    }
+
+    /// Fully recompute liveness and predecessors (precision reset).
+    pub fn refresh(&mut self, g: &Graph) {
+        self.lv = Liveness::compute(g);
+        self.preds = g.predecessors();
+    }
+
+    /// Recompute only the predecessor map (after structural edits).
+    pub fn refresh_preds(&mut self, g: &Graph) {
+        self.preds = g.predecessors();
+    }
+}

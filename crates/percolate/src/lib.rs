@@ -1,0 +1,31 @@
+//! # grip-percolate — Percolation Scheduling core transformations
+//!
+//! The semantics-preserving program transformations of §2 (Figures 2–4):
+//!
+//! * [`move_op`] — move an ordinary operation one instruction up, with
+//!   forward substitution through copies, write-live / move-past-read
+//!   renaming (fresh register + compensation copy), speculative motion for
+//!   renameable ops, and node splitting for multi-predecessor sources;
+//! * [`move_cj`] — move a root conditional jump up, splitting its
+//!   instruction into true/false residues;
+//! * [`plan_move_op`] / [`plan_move_cj`] — side-effect-free legality
+//!   oracles (the Gapless-move test and the Unifiable-ops baseline both
+//!   reason about hypothetical moves);
+//! * dead-code removal and empty-node deletion ([`eliminate_dead_ops`],
+//!   [`try_delete_empty`]) — the paper's incremental redundant-operation
+//!   removal.
+//!
+//! Every transformation preserves observable behaviour; the test suites
+//! check this by running the simulator before and after each edit.
+
+#![warn(missing_docs)]
+
+mod cleanup;
+mod ctx;
+mod movecj;
+mod moveop;
+
+pub use cleanup::{eliminate_dead_ops, propagate_copies, remove_if_dead, try_delete_empty};
+pub use ctx::Ctx;
+pub use movecj::{apply_move_cj, move_cj, plan_move_cj, MoveCjOutcome};
+pub use moveop::{apply_move_op, move_op, plan_move_op, MoveFail, MoveOutcome, MovePlan};

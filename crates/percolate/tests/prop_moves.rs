@@ -1,0 +1,171 @@
+//! Property tests: arbitrary sequences of legal percolation moves on
+//! randomly generated programs never change observable behaviour.
+
+use grip_analysis::Ddg;
+use grip_ir::{Graph, NodeId, OpId, OpKind, Operand, ProgramBuilder, Value};
+use grip_percolate::{move_op, try_delete_empty, Ctx};
+use grip_vm::{EquivReport, Machine};
+use proptest::prelude::*;
+
+/// A recipe for one random straight-line op.
+#[derive(Clone, Debug)]
+enum OpRecipe {
+    /// `fresh = iadd prev_reg, imm`
+    AddI(u8, i64),
+    /// `fresh = mul prev_freg, imm`
+    MulF(u8, i64),
+    /// `fresh = load x[prev_reg mod idx]`
+    Load(u8),
+    /// `x[imm] = prev_freg`
+    Store(u8, u8),
+    /// `fresh = copy prev_reg`
+    Copy(u8),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = OpRecipe> {
+    prop_oneof![
+        (any::<u8>(), -4i64..5).prop_map(|(r, c)| OpRecipe::AddI(r, c)),
+        (any::<u8>(), 1i64..4).prop_map(|(r, c)| OpRecipe::MulF(r, c)),
+        any::<u8>().prop_map(OpRecipe::Load),
+        (any::<u8>(), any::<u8>()).prop_map(|(i, r)| OpRecipe::Store(i, r)),
+        any::<u8>().prop_map(OpRecipe::Copy),
+    ]
+}
+
+/// Materialize a sequential program from recipes. Keeps separate i64 and
+/// f64 register pools so programs are type-correct by construction.
+fn build_program(recipes: &[OpRecipe]) -> Graph {
+    let mut b = ProgramBuilder::new();
+    let x = b.array("x", 16);
+    let i0 = b.named_reg("i0");
+    b.const_i(i0, 3);
+    let f0 = b.named_reg("f0");
+    b.const_f(f0, 1.5);
+    let mut iregs = vec![i0];
+    let mut fregs = vec![f0];
+    for (n, r) in recipes.iter().enumerate() {
+        match *r {
+            OpRecipe::AddI(src, c) => {
+                let s = iregs[src as usize % iregs.len()];
+                let d = b.binary(
+                    &format!("i{n}"),
+                    OpKind::IAdd,
+                    Operand::Reg(s),
+                    Operand::Imm(Value::I(c)),
+                );
+                iregs.push(d);
+            }
+            OpRecipe::MulF(src, c) => {
+                let s = fregs[src as usize % fregs.len()];
+                let d = b.binary(
+                    &format!("f{n}"),
+                    OpKind::Mul,
+                    Operand::Reg(s),
+                    Operand::Imm(Value::F(c as f64)),
+                );
+                fregs.push(d);
+            }
+            OpRecipe::Load(idx) => {
+                let d = b.load(&format!("l{n}"), x, Operand::Imm(Value::I((idx % 16) as i64)), 0);
+                fregs.push(d);
+            }
+            OpRecipe::Store(idx, src) => {
+                let v = fregs[src as usize % fregs.len()];
+                b.store(x, Operand::Imm(Value::I((idx % 16) as i64)), 0, Operand::Reg(v));
+            }
+            OpRecipe::Copy(src) => {
+                let s = iregs[src as usize % iregs.len()];
+                let d = b.named_reg(&format!("c{n}"));
+                b.copy(d, Operand::Reg(s));
+                iregs.push(d);
+            }
+        }
+    }
+    for r in iregs.into_iter().chain(fregs) {
+        b.live_out(r);
+    }
+    b.finish()
+}
+
+fn final_state(g: &Graph) -> Machine {
+    let mut m = Machine::for_graph(g);
+    m.run(g).expect("program must execute");
+    m
+}
+
+/// Attempt `budget` pseudo-random adjacent upward moves; each one either
+/// fails legality (fine) or must preserve semantics.
+fn churn(g: &mut Graph, seed: u64, budget: usize) {
+    let ddg = Ddg::build(g, g.entry);
+    let mut ctx = Ctx::new(g, &ddg);
+    let mut rng = seed;
+    for _ in 0..budget {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let nodes: Vec<NodeId> = g
+            .reachable()
+            .into_iter()
+            .filter(|&n| n != g.entry && g.node_op_count(n) > 0)
+            .collect();
+        if nodes.is_empty() {
+            break;
+        }
+        let n = nodes[(rng >> 33) as usize % nodes.len()];
+        let ops: Vec<OpId> = g.node_ops(n).into_iter().map(|(_, o)| o).collect();
+        let op = ops[(rng >> 17) as usize % ops.len()];
+        if g.op(op).kind.is_cj() {
+            continue;
+        }
+        let preds = g.predecessors();
+        let Some(ps) = preds.get(&n) else { continue };
+        if ps.len() != 1 || ps[0] == g.entry {
+            continue;
+        }
+        let to = ps[0];
+        let paths = g.node(to).tree.leaf_paths_to(n);
+        let _ = move_op(g, &mut ctx, n, to, op, paths[0]);
+        if g.node_exists(n) && g.node(n).tree.is_empty() {
+            try_delete_empty(g, &mut ctx, n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_moves_preserve_semantics(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..24),
+        seed in any::<u64>(),
+    ) {
+        let g0 = build_program(&recipes);
+        g0.validate().unwrap();
+        let mut g = g0.clone();
+        churn(&mut g, seed, 40);
+        g.validate().unwrap();
+        let m0 = final_state(&g0);
+        let m1 = final_state(&g);
+        let report = EquivReport::compare(&g0, &m0, &m1);
+        prop_assert!(report.is_equal(), "diverged: {report:?}");
+    }
+
+    #[test]
+    fn churn_never_grows_program_order(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..16),
+        seed in any::<u64>(),
+    ) {
+        // Straight-line programs have unique predecessors; no splits can
+        // occur, so the op population must stay constant under churn.
+        let g0 = build_program(&recipes);
+        let count_ops = |g: &Graph| -> usize {
+            g.reachable().iter().map(|&n| g.node_ops(n).len()).sum()
+        };
+        let before = count_ops(&g0);
+        let mut g = g0.clone();
+        churn(&mut g, seed, 40);
+        // Renaming adds compensation copies; they are the only growth.
+        let after = count_ops(&g);
+        prop_assert!(after >= before);
+        // And the graph still validates.
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,132 @@
+//! The end-to-end Perfect Pipelining driver:
+//! unwind → simplify → analyze → GRiP-schedule → detect pattern → (roll).
+
+use crate::pattern::{detect, estimate_cpi, fu_lower_bound, steady_rows, Pattern};
+use crate::roll::{roll, RollError, RollOutcome};
+use crate::simplify::simplify_inductions;
+use crate::unwind::{unwind, Window};
+use grip_analysis::{Ddg, RankTable};
+use grip_core::{schedule_region, GripConfig, Resources, ScheduleStats};
+use grip_ir::{Graph, NodeId};
+use grip_percolate::Ctx;
+
+/// Options for [`perfect_pipeline`].
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineOptions {
+    /// Unwind factor (how many iterations enter the window).
+    pub unwind: usize,
+    /// Machine resources.
+    pub resources: Resources,
+    /// Fold unwound induction chains (`k.1 = k.0+1` → `k.1 = k+2`) and
+    /// address constants. Required for cross-iteration induction
+    /// parallelism (Table 1 configuration); makes the pattern non-periodic
+    /// at the operand level, so re-rolling is only possible without it.
+    pub fold_inductions: bool,
+    /// §3.3 gap prevention (on for Perfect Pipelining; off reproduces the
+    /// divergent Figure 9 behaviour).
+    pub gap_prevention: bool,
+    /// Incremental dead-code removal.
+    pub dce: bool,
+    /// Attempt to re-roll the detected pattern into a real loop.
+    pub try_roll: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            unwind: 8,
+            resources: Resources::vliw(4),
+            fold_inductions: true,
+            gap_prevention: true,
+            dce: true,
+            try_roll: false,
+        }
+    }
+}
+
+/// Everything the harness needs to report a pipelined loop.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// The unwound window bookkeeping (op ancestry, body length).
+    pub window: Window,
+    /// Scheduler counters.
+    pub stats: ScheduleStats,
+    /// Full scheduler region after scheduling (steady rows plus exit-path
+    /// residues), in order.
+    pub region: Vec<NodeId>,
+    /// Steady rows after scheduling, in order.
+    pub steady: Vec<NodeId>,
+    /// The repeating pattern, if the schedule converged exactly.
+    pub pattern: Option<Pattern>,
+    /// Slope-based steady-state CPI estimate (defined even when the packing
+    /// wobbles around a non-integral ops/width ratio).
+    pub cpi_estimate: Option<f64>,
+    /// Result of re-rolling, when requested.
+    pub rolled: Option<Result<RollOutcome, RollError>>,
+}
+
+impl PipelineReport {
+    /// Sequential cycles per iteration (one-op-per-node original body).
+    pub fn seq_cpi(&self) -> f64 {
+        self.window.body_len as f64
+    }
+
+    /// Steady-state cycles per iteration of the pipelined loop: the
+    /// converged pattern's ratio when one exists, otherwise the slope
+    /// estimate over the window's middle iterations.
+    pub fn pipelined_cpi(&self) -> Option<f64> {
+        self.pattern.map(|p| p.cpi).or(self.cpi_estimate)
+    }
+
+    /// The paper's loop-body speedup: sequential CPI / pipelined CPI.
+    pub fn speedup(&self) -> Option<f64> {
+        self.pipelined_cpi().map(|c| self.seq_cpi() / c)
+    }
+}
+
+/// Run the full Perfect Pipelining stack on the canonical loop of `g`,
+/// in place. The graph remains executable (and observationally equivalent
+/// to the input) at every stage; `try_roll` failures leave the scheduled
+/// window untouched.
+pub fn perfect_pipeline(g: &mut Graph, opts: PipelineOptions) -> PipelineReport {
+    let window = unwind(g, opts.unwind);
+    if opts.fold_inductions {
+        simplify_inductions(g, &window.rows);
+    }
+    let ddg = Ddg::build(g, g.entry);
+    let mut ctx = Ctx::new(g, &ddg);
+    let ranks = RankTable::new(&ddg, true);
+    let cfg = GripConfig {
+        resources: opts.resources,
+        gap_prevention: opts.gap_prevention,
+        dce: opts.dce,
+        speculation: Default::default(),
+        trace: false,
+    };
+    let out = schedule_region(g, &mut ctx, &ranks, cfg, window.rows.clone());
+    let region = out.region.clone();
+    let steady = steady_rows(g, &region, window.head);
+    let pattern = detect(g, &window, &steady);
+    let cpi_estimate = estimate_cpi(g, &window, &steady).map(|c| {
+        fu_lower_bound(g, &window, &steady, opts.resources.fus)
+            .map_or(c, |b| c.max(b))
+    });
+    let rolled = match (opts.try_roll, pattern) {
+        (true, Some(pat)) => {
+            // The earliest pattern occurrence may still read fill-defined
+            // values whose periodic counterparts only settle a period
+            // later; retry one period in.
+            let fus = if opts.resources.fus == usize::MAX { 0 } else { opts.resources.fus };
+            let mut attempt = roll(g, &window, &steady, &pat, fus);
+            if attempt.is_err() {
+                let shifted = Pattern { start: pat.start + pat.period_rows, ..pat };
+                if shifted.start + 2 * shifted.period_rows <= steady.len() {
+                    attempt = roll(g, &window, &steady, &shifted, fus);
+                }
+            }
+            Some(attempt)
+        }
+        _ => None,
+    };
+    PipelineReport { window, stats: out.stats, region, steady, pattern, cpi_estimate, rolled }
+}

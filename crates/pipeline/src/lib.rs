@@ -1,0 +1,26 @@
+//! # grip-pipeline — Perfect Pipelining
+//!
+//! The loop-parallelization layer of the reproduction (§2 and §3.3 of the
+//! paper): unwind the loop with per-iteration renaming, simplify the
+//! unwound induction arithmetic, GRiP-schedule the window with the
+//! iteration-major ranking rule, detect the repeating steady-state pattern,
+//! and optionally re-roll the pattern into a real loop with a register
+//! rotation block on the back edge.
+//!
+//! The headline metric matches the paper's: loop-body speedup =
+//! sequential cycles-per-iteration ÷ pattern cycles-per-iteration
+//! ([`PipelineReport::speedup`]).
+
+#![warn(missing_docs)]
+
+mod driver;
+mod pattern;
+mod roll;
+mod simplify;
+mod unwind;
+
+pub use driver::{perfect_pipeline, PipelineOptions, PipelineReport};
+pub use pattern::{detect, estimate_cpi, fu_lower_bound, steady_rows, Pattern};
+pub use roll::{roll, RollError, RollOutcome};
+pub use simplify::simplify_inductions;
+pub use unwind::{unwind, Window};

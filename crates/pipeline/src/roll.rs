@@ -1,0 +1,426 @@
+//! Re-rolling: materialize the detected pattern as a real loop.
+//!
+//! The pattern rows become the new loop body (the paper's "convergence of
+//! Perfect Pipelining is achieved by making nodes 4 and 5 the new loop
+//! body", Figure 13). Correctness is established by **operand
+//! correspondence**: every op in the pattern — and every op in the exit
+//! fix-up blocks its conditional jumps lead to — is paired with its
+//! counterpart one period later, and each source operand must be
+//!
+//! * the same immediate;
+//! * a loop-invariant register (identical in both);
+//! * a pattern-defined register whose def has already committed when the
+//!   read happens (the counterpart then reads the shifted def — nothing to
+//!   do);
+//! * a pattern-defined register read before its def commits (loop-carried
+//!   within the pattern: the counterpart reads the *same* register — the
+//!   value survives across the back edge in place); or
+//! * an externally-defined register: walking the operand across successive
+//!   periods yields a succession `α₀ ← α₁ ← … ← αₘ` ending at a
+//!   pattern-defined register, which becomes a chain of **rotation
+//!   copies** on the back edge — the software analogue of an m-deep
+//!   rotating register file (values with multi-iteration lifetimes need
+//!   multi-period buffering).
+//!
+//! Anything else (notably induction arithmetic folded to distinct
+//! immediates) makes the pattern non-periodic at the operand level and
+//! re-rolling reports failure; the caller falls back to the scheduled
+//! window, which is always semantically exact. Rolled graphs are
+//! additionally validated by simulation in the test suites.
+
+use crate::pattern::Pattern;
+use crate::unwind::Window;
+use grip_ir::{Graph, NodeId, OpId, OpKind, Operand, RegId, Tree, TreePath};
+use std::collections::HashMap;
+
+/// Why re-rolling was not possible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RollError {
+    /// Immediate operands differ between an op and its counterpart — the
+    /// pattern is not operand-periodic (folded induction arithmetic).
+    NonPeriodicImmediate(OpId),
+    /// A source register pairing fits none of the legal cases, or its
+    /// rotation chain leaves the window before reaching a pattern def.
+    NonPeriodicRegister(OpId, RegId),
+    /// A register has several defs inside the pattern rows.
+    MultipleDefs(RegId),
+    /// Two ops in one row share an identity — pairing is ambiguous.
+    AmbiguousIdentity,
+    /// Structural surprise (missing ancestry, malformed fix-ups, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for RollError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RollError::NonPeriodicImmediate(op) => {
+                write!(f, "op {op}: immediates differ across periods")
+            }
+            RollError::NonPeriodicRegister(op, r) => {
+                write!(f, "op {op}: register {r} pairing is not periodic")
+            }
+            RollError::MultipleDefs(r) => write!(f, "register {r} defined twice in pattern"),
+            RollError::AmbiguousIdentity => write!(f, "ambiguous op identity within a row"),
+            RollError::Malformed(m) => write!(f, "malformed pattern: {m}"),
+        }
+    }
+}
+
+/// Statistics of a successful roll.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RollOutcome {
+    /// First pattern row — the rolled loop's head.
+    pub body_head: NodeId,
+    /// Rotation copies inserted on the back edge.
+    pub rotation_copies: usize,
+    /// Rotation instruction rows (each at most `fus` copies wide).
+    pub rotation_rows: usize,
+}
+
+type Ident = (OpId, u32, bool);
+
+fn ident_of(g: &Graph, w: &Window, op: OpId) -> Option<Ident> {
+    let body_op = w.body_op(g, op)?;
+    let o = g.op(op);
+    let artifact = o.kind == OpKind::Copy && g.op(body_op).kind != OpKind::Copy;
+    Some((body_op, o.iter, artifact))
+}
+
+struct RollCtx<'a> {
+    g: &'a Graph,
+    rows: &'a [NodeId],
+    s: usize,
+    p: usize,
+    /// periods[q]: (row offset, period-0 identity) -> op instance.
+    periods: Vec<HashMap<(usize, Ident), OpId>>,
+    /// Pattern defs: register -> (row offset, defining op).
+    def_row: HashMap<RegId, (usize, OpId)>,
+    /// Pattern def -> its def one period later.
+    def_cp: HashMap<RegId, RegId>,
+    /// Loop exit node (fix-up chains end here).
+    loop_exit: Option<NodeId>,
+    /// Accumulated rotation links α_i -> α_{i+1}, in chain order.
+    rot: Vec<(RegId, RegId)>,
+    /// Known successions (consistency check).
+    succ_of: HashMap<RegId, RegId>,
+}
+
+impl<'a> RollCtx<'a> {
+    /// Follow operand `alpha` across periods until a pattern-defined
+    /// register terminates the chain; record the links as rotation copies.
+    fn chain(
+        &mut self,
+        op: OpId,
+        alpha: RegId,
+        mut fetch: impl FnMut(&RollCtx<'a>, usize) -> Result<RegId, RollError>,
+    ) -> Result<(), RollError> {
+        let mut prev = alpha;
+        let mut q = 1;
+        loop {
+            let cur = fetch(self, q)?;
+            match self.succ_of.get(&prev) {
+                Some(&known) if known != cur => {
+                    return Err(RollError::NonPeriodicRegister(op, alpha));
+                }
+                Some(_) => {}
+                None => {
+                    self.succ_of.insert(prev, cur);
+                    self.rot.push((prev, cur));
+                }
+            }
+            if self.def_row.contains_key(&cur) {
+                return Ok(());
+            }
+            prev = cur;
+            q += 1;
+            if q >= self.periods.len() {
+                return Err(RollError::NonPeriodicRegister(op, alpha));
+            }
+        }
+    }
+
+    /// Classify + verify one register operand pairing. `committed` decides
+    /// whether a pattern def (row, op) has committed by the time this
+    /// reader fetches.
+    fn check_reg(
+        &mut self,
+        op: OpId,
+        alpha: RegId,
+        sigma: RegId,
+        committed: impl Fn(usize, OpId) -> bool,
+        fetch: impl FnMut(&RollCtx<'a>, usize) -> Result<RegId, RollError>,
+    ) -> Result<(), RollError> {
+        match self.def_row.get(&alpha).copied() {
+            Some((jd, def_op)) => {
+                if committed(jd, def_op) {
+                    if self.def_cp.get(&alpha) != Some(&sigma) {
+                        return Err(RollError::NonPeriodicRegister(op, alpha));
+                    }
+                } else if sigma != alpha {
+                    return Err(RollError::NonPeriodicRegister(op, alpha));
+                }
+                Ok(())
+            }
+            None if sigma == alpha => Ok(()), // loop-invariant
+            None => self.chain(op, alpha, fetch),
+        }
+    }
+
+    /// The exit fix-up op chain hanging off the false side of cj `inst`
+    /// placed in row `rows[s + q*p + j]`.
+    fn fixup_chain(&self, q: usize, j: usize, inst: OpId) -> Result<Vec<OpId>, RollError> {
+        let row = self.rows[self.s + q * self.p + j];
+        let tree = &self.g.node(row).tree;
+        let pos = tree.position_of(inst).ok_or(RollError::Malformed("cj not in its row"))?;
+        let exit = tree
+            .get(pos.child(false))
+            .ok_or(RollError::Malformed("cj without false side"))?;
+        let Tree::Leaf { ops, succ } = exit else {
+            return Err(RollError::Malformed("exit side is not a leaf"));
+        };
+        if !ops.is_empty() {
+            return Err(RollError::Malformed("ops on an exit leaf"));
+        }
+        let mut cur = *succ;
+        let mut out = Vec::new();
+        while let Some(n) = cur {
+            if Some(n) == self.loop_exit {
+                break;
+            }
+            let ops = self.g.node_ops(n);
+            if ops.len() != 1 {
+                return Err(RollError::Malformed("fix-up block shape"));
+            }
+            out.push(ops[0].1);
+            let succs = self.g.unique_successors(n);
+            if succs.len() != 1 {
+                return Err(RollError::Malformed("fix-up block fan-out"));
+            }
+            cur = Some(succs[0]);
+        }
+        Ok(out)
+    }
+}
+
+/// Replace the steady window with a rolled loop whose body is the pattern.
+/// `rows` are the steady rows used for detection; `fus` packs the rotation
+/// copies (0 = unlimited).
+pub fn roll(
+    g: &mut Graph,
+    w: &Window,
+    rows: &[NodeId],
+    pat: &Pattern,
+    fus: usize,
+) -> Result<RollOutcome, RollError> {
+    let (s, p, shift) = (pat.start, pat.period_rows, pat.period_iters);
+    if s + 2 * p > rows.len() {
+        return Err(RollError::Malformed("pattern must repeat inside the window"));
+    }
+
+    // --- Index op instances per period, normalized to period-0 ids. -----
+    let total_periods = (rows.len() - s) / p;
+    let mut periods: Vec<HashMap<(usize, Ident), OpId>> = vec![HashMap::new(); total_periods];
+    for (q, table) in periods.iter_mut().enumerate() {
+        for j in 0..p {
+            let row = rows[s + q * p + j];
+            for (_, op) in g.node_ops(row) {
+                let (body_op, iter, art) =
+                    ident_of(g, w, op).ok_or(RollError::Malformed("op without ancestry"))?;
+                let base_iter = iter as i64 - (q as u32 * shift) as i64;
+                if base_iter < 0 {
+                    return Err(RollError::Malformed("iteration underflow"));
+                }
+                let key = (j, (body_op, base_iter as u32, art));
+                if table.insert(key, op).is_some() {
+                    return Err(RollError::AmbiguousIdentity);
+                }
+            }
+        }
+    }
+    let body: Vec<NodeId> = rows[s..s + p].to_vec();
+
+    // --- Pattern defs and their next-period counterparts. ----------------
+    let mut def_row: HashMap<RegId, (usize, OpId)> = HashMap::new();
+    for (j, &row) in body.iter().enumerate() {
+        for (_, op) in g.node_ops(row) {
+            if let Some(d) = g.op(op).dest {
+                if def_row.insert(d, (j, op)).is_some() {
+                    return Err(RollError::MultipleDefs(d));
+                }
+            }
+        }
+    }
+    let mut def_cp: HashMap<RegId, RegId> = HashMap::new();
+    for (&(j, id), &op) in &periods[0] {
+        let cp = periods[1]
+            .get(&(j, id))
+            .copied()
+            .ok_or(RollError::Malformed("counterpart op missing"))?;
+        if let (Some(d), Some(d2)) = (g.op(op).dest, g.op(cp).dest) {
+            def_cp.insert(d, d2);
+        }
+    }
+
+    let mut rc = RollCtx {
+        g,
+        rows,
+        s,
+        p,
+        periods,
+        def_row,
+        def_cp,
+        loop_exit: g.loop_info.map(|li| li.exit),
+        rot: Vec::new(),
+        succ_of: HashMap::new(),
+    };
+
+    // --- Body-op correspondence. -----------------------------------------
+    let items: Vec<((usize, Ident), OpId)> =
+        rc.periods[0].iter().map(|(&k, &v)| (k, v)).collect();
+    for &((j, id), op) in &items {
+        let cp = rc.periods[1].get(&(j, id)).copied().expect("checked above");
+        let (o, c) = (rc.g.op(op), rc.g.op(cp));
+        if o.kind != c.kind || o.disp != c.disp || o.src.len() != c.src.len() {
+            return Err(RollError::Malformed("op/counterpart kind mismatch"));
+        }
+        let srcs: Vec<(Operand, Operand)> =
+            o.src.iter().copied().zip(c.src.iter().copied()).collect();
+        for (si, (a, b)) in srcs.into_iter().enumerate() {
+            match (a, b) {
+                (Operand::Imm(x), Operand::Imm(y)) => {
+                    if !x.bit_eq(y) {
+                        return Err(RollError::NonPeriodicImmediate(op));
+                    }
+                }
+                (Operand::Reg(alpha), Operand::Reg(sigma)) => {
+                    // Instruction-entry fetch: same-row defs are "previous".
+                    let committed = |jd: usize, _d: OpId| jd < j;
+                    let fetch = |rc: &RollCtx<'_>, q: usize| -> Result<RegId, RollError> {
+                        let inst = rc
+                            .periods
+                            .get(q)
+                            .and_then(|t| t.get(&(j, id)))
+                            .copied()
+                            .ok_or(RollError::NonPeriodicRegister(op, alpha))?;
+                        match rc.g.op(inst).src.get(si) {
+                            Some(Operand::Reg(r)) => Ok(*r),
+                            _ => Err(RollError::NonPeriodicRegister(op, alpha)),
+                        }
+                    };
+                    rc.check_reg(op, alpha, sigma, committed, fetch)?;
+                }
+                _ => return Err(RollError::Malformed("operand shape mismatch")),
+            }
+        }
+    }
+
+    // --- Exit fix-up correspondence. --------------------------------------
+    for &((j, id), op) in &items {
+        if !rc.g.op(op).kind.is_cj() {
+            continue;
+        }
+        let f0 = rc.fixup_chain(0, j, op)?;
+        let cp = rc.periods[1].get(&(j, id)).copied().expect("checked above");
+        let f1 = rc.fixup_chain(1, j, cp)?;
+        if f0.len() != f1.len() {
+            return Err(RollError::Malformed("fix-up length mismatch"));
+        }
+        // Defs at the exit row commit only if they sit on the exit path.
+        let row0 = rows[s + j];
+        let cj_pos = rc.g.node(row0).tree.position_of(op).expect("cj placed");
+        let exit_leaf = cj_pos.child(false);
+        for (k, (&a_op, &b_op)) in f0.iter().zip(&f1).enumerate() {
+            let (oa, ob) = (rc.g.op(a_op), rc.g.op(b_op));
+            if oa.kind != ob.kind || oa.dest != ob.dest || oa.src.len() != ob.src.len() {
+                return Err(RollError::Malformed("fix-up op mismatch"));
+            }
+            let srcs: Vec<(Operand, Operand)> =
+                oa.src.iter().copied().zip(ob.src.iter().copied()).collect();
+            for (si, (a, b)) in srcs.into_iter().enumerate() {
+                match (a, b) {
+                    (Operand::Imm(x), Operand::Imm(y)) => {
+                        if !x.bit_eq(y) {
+                            return Err(RollError::NonPeriodicImmediate(a_op));
+                        }
+                    }
+                    (Operand::Reg(alpha), Operand::Reg(sigma)) => {
+                        let g2: &Graph = rc.g;
+                        let committed = |jd: usize, d: OpId| {
+                            jd < j
+                                || (jd == j
+                                    && g2
+                                        .node(row0)
+                                        .tree
+                                        .position_of(d)
+                                        .is_some_and(|pp| pp.is_prefix_of(exit_leaf)))
+                        };
+                        let fetch = |rc: &RollCtx<'_>, q: usize| -> Result<RegId, RollError> {
+                            let inst = rc
+                                .periods
+                                .get(q)
+                                .and_then(|t| t.get(&(j, id)))
+                                .copied()
+                                .ok_or(RollError::NonPeriodicRegister(a_op, alpha))?;
+                            let chain = rc.fixup_chain(q, j, inst)?;
+                            let fop = chain
+                                .get(k)
+                                .copied()
+                                .ok_or(RollError::NonPeriodicRegister(a_op, alpha))?;
+                            match rc.g.op(fop).src.get(si) {
+                                Some(Operand::Reg(r)) => Ok(*r),
+                                _ => Err(RollError::NonPeriodicRegister(a_op, alpha)),
+                            }
+                        };
+                        rc.check_reg(a_op, alpha, sigma, committed, fetch)?;
+                    }
+                    _ => return Err(RollError::Malformed("operand shape mismatch")),
+                }
+            }
+        }
+    }
+
+    let rot = rc.rot;
+
+    // --- Materialize the rotation block. ----------------------------------
+    let width = if fus == 0 { usize::MAX } else { fus };
+    let mut rot_nodes: Vec<NodeId> = Vec::new();
+    if !rot.is_empty() {
+        for chunk in rot.chunks(width.min(rot.len())) {
+            let mut ops = Vec::with_capacity(chunk.len());
+            for &(dst, src) in chunk {
+                let mut cpy =
+                    grip_ir::Operation::new(OpKind::Copy, Some(dst), vec![Operand::Reg(src)]);
+                cpy.name = g.reg_name(dst).map(|nm| format!("{nm}@rot").into());
+                ops.push(g.add_op(cpy));
+            }
+            let n = g.add_node(Tree::Leaf { ops, succ: None });
+            rot_nodes.push(n);
+        }
+        for pair in rot_nodes.windows(2) {
+            g.set_succ(pair[0], TreePath::ROOT, Some(pair[1]));
+        }
+    }
+
+    // --- Rewire the back edge. --------------------------------------------
+    let last = body[p - 1];
+    let next_head = rows[s + p];
+    let paths = g.node(last).tree.leaf_paths_to(next_head);
+    if paths.is_empty() {
+        return Err(RollError::Malformed("pattern tail does not reach the next period"));
+    }
+    let back_target = if let Some(&first) = rot_nodes.first() {
+        g.set_succ(*rot_nodes.last().expect("nonempty"), TreePath::ROOT, Some(body[0]));
+        first
+    } else {
+        body[0]
+    };
+    for path in paths {
+        g.set_succ(last, path, Some(back_target));
+    }
+
+    Ok(RollOutcome {
+        body_head: body[0],
+        rotation_copies: rot.len(),
+        rotation_rows: rot_nodes.len(),
+    })
+}

@@ -1,0 +1,154 @@
+//! Induction simplification over the unwound window.
+//!
+//! Rewrites the unwound chains `k.0 = k + 1; k.1 = k.0 + 1; …` into
+//! `k.i = k + (i+1)` and folds the constant parts of addresses into the
+//! load/store displacement fields. This serves two purposes:
+//!
+//! * the per-iteration induction updates stop being a serial chain (they
+//!   all hang off the window-entry value), which is what lets multiple
+//!   iterations issue in one instruction;
+//! * every address becomes `base_register + constant`, making the
+//!   cross-iteration memory disambiguation of `grip-analysis` exact.
+//!
+//! Together with dead-code elimination this is the concrete form of the
+//! paper's "redundant operation removal" on the Livermore loops.
+//!
+//! The analysis is seeded at the window head only — window-entry registers
+//! are opaque bases, never resolved through the preamble (their values
+//! differ on every traversal of the back edge).
+
+use grip_analysis::{AffineAddr, AffineMap};
+use grip_ir::{Graph, NodeId, OpKind, Operand, Value};
+
+/// Simplify induction arithmetic in `rows` (window chain order). Returns
+/// the number of rewritten operations.
+pub fn simplify_inductions(g: &mut Graph, rows: &[NodeId]) -> usize {
+    let mut affine = AffineMap::new();
+    let mut rewrites = 0;
+    for &n in rows {
+        let ops: Vec<_> = g.node_ops(n).into_iter().map(|(_, o)| o).collect();
+        for id in ops {
+            let op = g.op(id);
+            match op.kind {
+                OpKind::IAdd | OpKind::ISub if op.dest.is_some() => {
+                    // Try to re-express as base + constant.
+                    let sign = if op.kind == OpKind::ISub { -1 } else { 1 };
+                    if let (Operand::Reg(s), Operand::Imm(Value::I(c))) = (op.src[0], op.src[1]) {
+                        match affine.resolve_addr(Operand::Reg(s), 0) {
+                            Some(AffineAddr { base: Some(b), offset }) if b != s => {
+                                let op = g.op_mut(id);
+                                op.kind = OpKind::IAdd;
+                                op.src[0] = Operand::Reg(b);
+                                op.src[1] = Operand::Imm(Value::I(offset + sign * c));
+                                rewrites += 1;
+                            }
+                            Some(AffineAddr { base: None, offset }) => {
+                                // Fully constant: become a load-immediate.
+                                let op = g.op_mut(id);
+                                op.kind = OpKind::Copy;
+                                op.src = vec![Operand::Imm(Value::I(offset + sign * c))];
+                                rewrites += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                OpKind::Load(_) | OpKind::Store(_) => {
+                    if let Operand::Reg(s) = op.src[0] {
+                        match affine.resolve_addr(Operand::Reg(s), op.disp) {
+                            Some(AffineAddr { base: Some(b), offset }) if b != s || offset != op.disp => {
+                                let op = g.op_mut(id);
+                                op.src[0] = Operand::Reg(b);
+                                op.disp = offset;
+                                rewrites += 1;
+                            }
+                            Some(AffineAddr { base: None, offset }) => {
+                                let op = g.op_mut(id);
+                                op.src[0] = Operand::Imm(Value::I(offset));
+                                op.disp = 0;
+                                rewrites += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+            let opref = g.op(id).clone();
+            affine.observe(&opref, id);
+        }
+    }
+    rewrites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unwind::unwind;
+    use grip_ir::{OpKind, ProgramBuilder};
+    use grip_vm::{EquivReport, Machine};
+
+    #[test]
+    fn unwound_induction_chain_becomes_parallel() {
+        let n = 9i64;
+        let mut b = ProgramBuilder::new();
+        let x = b.array("x", (n + 8) as usize);
+        let k = b.named_reg("k");
+        b.const_i(k, 0);
+        b.begin_loop();
+        let t = b.load("t", x, Operand::Reg(k), 0);
+        let t2 = b.binary("t2", OpKind::Mul, Operand::Reg(t), Operand::Imm(Value::F(2.0)));
+        b.store(x, Operand::Reg(k), 0, Operand::Reg(t2));
+        b.iadd_imm(k, k, 1);
+        let c = b.binary("c", OpKind::CmpLt, Operand::Reg(k), Operand::Imm(Value::I(n)));
+        b.end_loop(c);
+        let mut g = b.finish();
+        g.live_out = vec![k];
+        let g0 = g.clone();
+
+        let w = unwind(&mut g, 4);
+        let rewrites = simplify_inductions(&mut g, &w.rows);
+        assert!(rewrites > 0);
+        g.validate().unwrap();
+
+        // All induction updates now read the canonical k directly.
+        let mut iadds = 0;
+        for &row in &w.rows {
+            for (_, o) in g.node_ops(row) {
+                let op = g.op(o);
+                if op.kind == OpKind::IAdd {
+                    iadds += 1;
+                    assert_eq!(op.src[0], Operand::Reg(k), "{op}");
+                }
+            }
+        }
+        assert_eq!(iadds, 4);
+
+        // Loads/stores of iteration i address x[k + i].
+        for (idx, &row) in w.rows.iter().enumerate() {
+            let iter = (idx / w.body_len) as i64;
+            for (_, o) in g.node_ops(row) {
+                let op = g.op(o);
+                if op.kind.is_mem() {
+                    assert_eq!(op.src[0], Operand::Reg(k), "{op}");
+                    assert_eq!(op.disp, iter, "{op}");
+                }
+            }
+        }
+
+        // Semantics unchanged.
+        let setup = |m: &mut Machine| {
+            let xs: Vec<f64> = (0..n + 8).map(|i| i as f64 + 1.0).collect();
+            m.set_array_f(x, &xs);
+        };
+        let mut m0 = Machine::for_graph(&g0);
+        setup(&mut m0);
+        m0.run(&g0).unwrap();
+        let mut m1 = Machine::for_graph(&g);
+        setup(&mut m1);
+        m1.run(&g).unwrap();
+        assert!(EquivReport::compare(&g0, &m0, &m1).is_equal());
+    }
+
+    use grip_ir::{Operand, Value};
+}

@@ -1,0 +1,34 @@
+//! # grip-vm — the VLIW machine simulator
+//!
+//! Executes [`grip_ir::Graph`] programs under the paper's §2 instruction
+//! semantics and counts cycles (one cycle per instruction):
+//!
+//! 1. operands of **all** operations in the instruction are fetched;
+//! 2. results are computed but not stored; a conditional's "result" selects
+//!    a branch in the tree;
+//! 3. values are stored — IBM VLIW variant: only results computed **along
+//!    the selected path** commit;
+//! 4. the next instruction is the one reached by following the selected
+//!    branches.
+//!
+//! The simulator is the repository's ground truth: every scheduling
+//! transformation is validated by running the program before and after and
+//! comparing observable state (all memory plus `live_out` registers).
+//!
+//! Speculatively hoisted loads may execute with out-of-range addresses (the
+//! original program would have exited the loop before using their result);
+//! such loads yield the array's typed default value instead of faulting
+//! ("non-faulting load" semantics) and are tallied in
+//! [`RunStats::speculative_oob_loads`]. Out-of-range **stores** are hard
+//! errors: stores are never moved speculatively, so one firing means a
+//! transformation bug.
+
+#![warn(missing_docs)]
+
+mod machine;
+
+pub use machine::{EquivReport, ExecError, Machine, RunStats};
+
+/// Default cycle budget for a run; generous for every workload in this
+/// repository while still catching non-terminating schedules.
+pub const DEFAULT_FUEL: u64 = 50_000_000;

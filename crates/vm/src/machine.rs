@@ -1,0 +1,617 @@
+//! Machine state and the execution loop.
+
+use grip_ir::{ArrayId, Graph, NodeId, OpId, OpKind, Operand, RegId, Tree, Value};
+use std::fmt;
+
+/// Why an execution stopped abnormally.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// A register was read before any operation defined it.
+    UndefinedRegister {
+        /// The register read.
+        reg: RegId,
+        /// The instruction doing the read.
+        node: NodeId,
+        /// The reading operation.
+        op: OpId,
+    },
+    /// An operation received a value of the wrong type.
+    Type {
+        /// The failing instruction.
+        node: NodeId,
+        /// The failing operation.
+        op: OpId,
+        /// The underlying type mismatch.
+        err: grip_ir::TypeError,
+    },
+    /// A store addressed memory outside its array.
+    StoreOutOfBounds {
+        /// The array being written.
+        array: ArrayId,
+        /// The effective index.
+        index: i64,
+        /// The instruction containing the store.
+        node: NodeId,
+    },
+    /// Two operations on one selected path committed to the same register.
+    DoubleWrite {
+        /// The register written twice.
+        reg: RegId,
+        /// The offending instruction.
+        node: NodeId,
+    },
+    /// Two stores on one selected path hit the same address.
+    DoubleStore {
+        /// The array written twice.
+        array: ArrayId,
+        /// The effective index.
+        index: i64,
+        /// The offending instruction.
+        node: NodeId,
+    },
+    /// The cycle budget ran out (non-terminating schedule).
+    FuelExhausted {
+        /// The budget that was exceeded.
+        fuel: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UndefinedRegister { reg, node, op } => {
+                write!(f, "{node}/{op}: read of undefined register {reg}")
+            }
+            ExecError::Type { node, op, err } => write!(f, "{node}/{op}: {err}"),
+            ExecError::StoreOutOfBounds { array, index, node } => {
+                write!(f, "{node}: store to {array}[{index}] out of bounds")
+            }
+            ExecError::DoubleWrite { reg, node } => {
+                write!(f, "{node}: register {reg} committed twice on one path")
+            }
+            ExecError::DoubleStore { array, index, node } => {
+                write!(f, "{node}: {array}[{index}] stored twice on one path")
+            }
+            ExecError::FuelExhausted { fuel } => write!(f, "fuel exhausted after {fuel} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Counters accumulated by a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions executed — the paper's cycle count.
+    pub cycles: u64,
+    /// Ordinary operations whose results committed.
+    pub ops_committed: u64,
+    /// Conditional jumps evaluated on selected paths.
+    pub cjs_evaluated: u64,
+    /// Non-faulting loads that were out of bounds (speculation artifacts).
+    pub speculative_oob_loads: u64,
+}
+
+/// Register file plus memory arrays.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    regs: Vec<Option<Value>>,
+    arrays: Vec<Vec<Value>>,
+}
+
+impl Machine {
+    /// Allocate state sized for `g`: all registers undefined, every array
+    /// filled with its element type's default value.
+    pub fn for_graph(g: &Graph) -> Machine {
+        Machine {
+            regs: vec![None; g.reg_count()],
+            arrays: g
+                .arrays()
+                .iter()
+                .map(|a| vec![a.elem.default_value(); a.len])
+                .collect(),
+        }
+    }
+
+    /// Define a register before execution (program inputs).
+    pub fn set_reg(&mut self, r: RegId, v: Value) {
+        if self.regs.len() <= r.index() {
+            self.regs.resize(r.index() + 1, None);
+        }
+        self.regs[r.index()] = Some(v);
+    }
+
+    /// Current value of a register, if defined.
+    pub fn reg(&self, r: RegId) -> Option<Value> {
+        self.regs.get(r.index()).copied().flatten()
+    }
+
+    /// Overwrite an array's contents (program inputs). Panics if `vals` is
+    /// longer than the declared array.
+    pub fn set_array(&mut self, a: ArrayId, vals: &[Value]) {
+        let arr = &mut self.arrays[a.index()];
+        assert!(vals.len() <= arr.len(), "set_array: too many values");
+        arr[..vals.len()].copy_from_slice(vals);
+    }
+
+    /// Convenience: fill an `f64` array from a slice.
+    pub fn set_array_f(&mut self, a: ArrayId, vals: &[f64]) {
+        let arr = &mut self.arrays[a.index()];
+        assert!(vals.len() <= arr.len(), "set_array_f: too many values");
+        for (cell, &v) in arr.iter_mut().zip(vals) {
+            *cell = Value::F(v);
+        }
+    }
+
+    /// Convenience: fill an `i64` array from a slice.
+    pub fn set_array_i(&mut self, a: ArrayId, vals: &[i64]) {
+        let arr = &mut self.arrays[a.index()];
+        assert!(vals.len() <= arr.len(), "set_array_i: too many values");
+        for (cell, &v) in arr.iter_mut().zip(vals) {
+            *cell = Value::I(v);
+        }
+    }
+
+    /// Read an array cell.
+    pub fn array_cell(&self, a: ArrayId, i: usize) -> Value {
+        self.arrays[a.index()][i]
+    }
+
+    /// A whole array as `f64`s (panics on non-float cells).
+    pub fn array_f(&self, a: ArrayId) -> Vec<f64> {
+        self.arrays[a.index()]
+            .iter()
+            .map(|v| v.as_f().expect("array_f on non-float cell"))
+            .collect()
+    }
+
+    /// Execute `g` from its entry until an exit leaf, with the default fuel.
+    pub fn run(&mut self, g: &Graph) -> Result<RunStats, ExecError> {
+        self.run_fuel(g, crate::DEFAULT_FUEL)
+    }
+
+    /// Execute `g` with an explicit cycle budget.
+    pub fn run_fuel(&mut self, g: &Graph, fuel: u64) -> Result<RunStats, ExecError> {
+        self.run_inner(g, fuel, &mut |_| {})
+    }
+
+    /// Execute and invoke `visit` with each executed node id (tracing).
+    pub fn run_traced(
+        &mut self,
+        g: &Graph,
+        fuel: u64,
+        visit: &mut dyn FnMut(NodeId),
+    ) -> Result<RunStats, ExecError> {
+        self.run_inner(g, fuel, visit)
+    }
+
+    fn run_inner(
+        &mut self,
+        g: &Graph,
+        fuel: u64,
+        visit: &mut dyn FnMut(NodeId),
+    ) -> Result<RunStats, ExecError> {
+        let mut stats = RunStats::default();
+        let mut pc = Some(g.entry);
+        // Commit buffers, reused across cycles to avoid per-cycle allocation.
+        let mut reg_writes: Vec<(RegId, Value)> = Vec::new();
+        let mut mem_writes: Vec<(ArrayId, i64, Value)> = Vec::new();
+        while let Some(node) = pc {
+            if stats.cycles >= fuel {
+                return Err(ExecError::FuelExhausted { fuel });
+            }
+            stats.cycles += 1;
+            visit(node);
+            pc = self.step(g, node, &mut stats, &mut reg_writes, &mut mem_writes)?;
+        }
+        Ok(stats)
+    }
+
+    /// Execute one instruction; returns the next node.
+    fn step(
+        &mut self,
+        g: &Graph,
+        node: NodeId,
+        stats: &mut RunStats,
+        reg_writes: &mut Vec<(RegId, Value)>,
+        mem_writes: &mut Vec<(ArrayId, i64, Value)>,
+    ) -> Result<Option<NodeId>, ExecError> {
+        reg_writes.clear();
+        mem_writes.clear();
+        // Walk the selected path. All reads (including branch conditions and
+        // loads) observe the pre-instruction state because commits are
+        // buffered until the leaf.
+        let mut t = &g.node(node).tree;
+        loop {
+            match t {
+                Tree::Leaf { ops, succ } => {
+                    for &op in ops {
+                        self.exec_op(g, node, op, stats, reg_writes, mem_writes)?;
+                    }
+                    self.commit(node, reg_writes, mem_writes)?;
+                    return Ok(*succ);
+                }
+                Tree::Branch { ops, cj, on_true, on_false } => {
+                    for &op in ops {
+                        self.exec_op(g, node, op, stats, reg_writes, mem_writes)?;
+                    }
+                    let cond = self
+                        .fetch(node, *cj, g.op(*cj).src[0])?
+                        .as_b()
+                        .map_err(|err| ExecError::Type { node, op: *cj, err })?;
+                    stats.cjs_evaluated += 1;
+                    t = if cond { on_true } else { on_false };
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn fetch(&self, node: NodeId, op: OpId, operand: Operand) -> Result<Value, ExecError> {
+        match operand {
+            Operand::Imm(v) => Ok(v),
+            Operand::Reg(r) => self
+                .regs
+                .get(r.index())
+                .copied()
+                .flatten()
+                .ok_or(ExecError::UndefinedRegister { reg: r, node, op }),
+        }
+    }
+
+    fn exec_op(
+        &self,
+        g: &Graph,
+        node: NodeId,
+        id: OpId,
+        stats: &mut RunStats,
+        reg_writes: &mut Vec<(RegId, Value)>,
+        mem_writes: &mut Vec<(ArrayId, i64, Value)>,
+    ) -> Result<(), ExecError> {
+        let op = g.op(id);
+        stats.ops_committed += 1;
+        match op.kind {
+            OpKind::Copy => {
+                let v = self.fetch(node, id, op.src[0])?;
+                reg_writes.push((op.dest.expect("copy has dest"), v));
+            }
+            OpKind::Load(a) => {
+                let idx = self
+                    .fetch(node, id, op.src[0])?
+                    .as_i()
+                    .map_err(|err| ExecError::Type { node, op: id, err })?
+                    + op.disp;
+                let arr = &self.arrays[a.index()];
+                let v = if idx >= 0 && (idx as usize) < arr.len() {
+                    arr[idx as usize]
+                } else {
+                    stats.speculative_oob_loads += 1;
+                    g.arrays()[a.index()].elem.default_value()
+                };
+                reg_writes.push((op.dest.expect("load has dest"), v));
+            }
+            OpKind::Store(a) => {
+                let idx = self
+                    .fetch(node, id, op.src[0])?
+                    .as_i()
+                    .map_err(|err| ExecError::Type { node, op: id, err })?
+                    + op.disp;
+                let v = self.fetch(node, id, op.src[1])?;
+                let len = self.arrays[a.index()].len();
+                if idx < 0 || idx as usize >= len {
+                    return Err(ExecError::StoreOutOfBounds { array: a, index: idx, node });
+                }
+                mem_writes.push((a, idx, v));
+            }
+            OpKind::CondJump => unreachable!("cjs live at branch positions"),
+            kind => {
+                let mut srcs = [Value::B(false); 2];
+                for (i, &s) in op.src.iter().enumerate() {
+                    srcs[i] = self.fetch(node, id, s)?;
+                }
+                let v = kind
+                    .eval(&srcs[..op.src.len()])
+                    .map_err(|err| ExecError::Type { node, op: id, err })?;
+                reg_writes.push((op.dest.expect("pure op has dest"), v));
+            }
+        }
+        Ok(())
+    }
+
+    fn commit(
+        &mut self,
+        node: NodeId,
+        reg_writes: &[(RegId, Value)],
+        mem_writes: &[(ArrayId, i64, Value)],
+    ) -> Result<(), ExecError> {
+        for (i, &(r, v)) in reg_writes.iter().enumerate() {
+            if reg_writes[..i].iter().any(|&(r2, _)| r2 == r) {
+                return Err(ExecError::DoubleWrite { reg: r, node });
+            }
+            self.regs[r.index()] = Some(v);
+        }
+        for (i, &(a, idx, v)) in mem_writes.iter().enumerate() {
+            if mem_writes[..i].iter().any(|&(a2, i2, _)| a2 == a && i2 == idx) {
+                return Err(ExecError::DoubleStore { array: a, index: idx, node });
+            }
+            self.arrays[a.index()][idx as usize] = v;
+        }
+        Ok(())
+    }
+}
+
+/// Result of comparing two final machine states.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EquivReport {
+    /// Observable state matched bitwise.
+    Equal,
+    /// A `live_out` register differed.
+    RegMismatch {
+        /// The differing register.
+        reg: RegId,
+        /// Value in the first machine.
+        a: Option<Value>,
+        /// Value in the second machine.
+        b: Option<Value>,
+    },
+    /// A memory cell differed.
+    MemMismatch {
+        /// The differing array.
+        array: ArrayId,
+        /// The differing element index.
+        index: usize,
+        /// Value in the first machine.
+        a: Value,
+        /// Value in the second machine.
+        b: Value,
+    },
+}
+
+impl EquivReport {
+    /// Compare two machines over all memory and the `live_out` registers of
+    /// `g` (bitwise — NaNs compare equal to themselves).
+    pub fn compare(g: &Graph, a: &Machine, b: &Machine) -> EquivReport {
+        for &r in &g.live_out {
+            let (va, vb) = (a.reg(r), b.reg(r));
+            let same = match (va, vb) {
+                (Some(x), Some(y)) => x.bit_eq(y),
+                (None, None) => true,
+                _ => false,
+            };
+            if !same {
+                return EquivReport::RegMismatch { reg: r, a: va, b: vb };
+            }
+        }
+        for (ai, (arr_a, arr_b)) in a.arrays.iter().zip(&b.arrays).enumerate() {
+            for (i, (&x, &y)) in arr_a.iter().zip(arr_b).enumerate() {
+                if !x.bit_eq(y) {
+                    return EquivReport::MemMismatch {
+                        array: ArrayId::new(ai),
+                        index: i,
+                        a: x,
+                        b: y,
+                    };
+                }
+            }
+        }
+        EquivReport::Equal
+    }
+
+    /// True when the states matched.
+    pub fn is_equal(&self) -> bool {
+        *self == EquivReport::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grip_ir::{OpKind, Operand, Operation, ProgramBuilder, Tree, Value};
+
+    /// x[k] = 2*x[k] for k in 0..8
+    fn scale_loop(n: i64) -> (Graph, ArrayId) {
+        let mut b = ProgramBuilder::new();
+        let x = b.array("x", n as usize);
+        let k = b.named_reg("k");
+        b.const_i(k, 0);
+        b.begin_loop();
+        let t = b.load("t", x, Operand::Reg(k), 0);
+        let t2 = b.binary("t2", OpKind::Mul, Operand::Reg(t), Operand::Imm(Value::F(2.0)));
+        b.store(x, Operand::Reg(k), 0, Operand::Reg(t2));
+        b.iadd_imm(k, k, 1);
+        let c = b.binary("c", OpKind::CmpLt, Operand::Reg(k), Operand::Imm(Value::I(n)));
+        b.end_loop(c);
+        (b.finish(), x)
+    }
+
+    #[test]
+    fn runs_a_loop_and_counts_cycles() {
+        let (g, x) = scale_loop(8);
+        let mut m = Machine::for_graph(&g);
+        m.set_array_f(x, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let stats = m.run(&g).unwrap();
+        assert_eq!(m.array_f(x), vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]);
+        // entry + const + 8 iterations * (5 op nodes + latch) + exit node
+        assert_eq!(stats.cycles, 2 + 8 * 6 + 1);
+        assert_eq!(stats.cjs_evaluated, 8);
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        let (g, _) = scale_loop(8);
+        let mut m = Machine::for_graph(&g);
+        assert_eq!(m.run_fuel(&g, 3), Err(ExecError::FuelExhausted { fuel: 3 }));
+    }
+
+    #[test]
+    fn undefined_register_reported() {
+        let mut b = ProgramBuilder::new();
+        let ghost = b.named_reg("ghost");
+        let s = b.binary("s", OpKind::IAdd, Operand::Reg(ghost), Operand::Imm(Value::I(1)));
+        b.live_out(s);
+        let g = b.finish();
+        let mut m = Machine::for_graph(&g);
+        match m.run(&g) {
+            Err(ExecError::UndefinedRegister { reg, .. }) => assert_eq!(reg, ghost),
+            other => panic!("expected undefined register, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_out_of_bounds_is_fatal_but_load_is_not() {
+        let mut b = ProgramBuilder::new();
+        let x = b.array("x", 4);
+        let t = b.load("t", x, Operand::Imm(Value::I(99)), 0);
+        b.live_out(t);
+        let g = b.finish();
+        let mut m = Machine::for_graph(&g);
+        let stats = m.run(&g).unwrap();
+        assert_eq!(stats.speculative_oob_loads, 1);
+        assert_eq!(m.reg(t), Some(Value::F(0.0)));
+
+        let mut b = ProgramBuilder::new();
+        let x = b.array("x", 4);
+        b.store(x, Operand::Imm(Value::I(99)), 0, Operand::Imm(Value::F(1.0)));
+        let g = b.finish();
+        let mut m = Machine::for_graph(&g);
+        assert!(matches!(m.run(&g), Err(ExecError::StoreOutOfBounds { index: 99, .. })));
+    }
+
+    /// VLIW entry-fetch semantics: an op may read a register written by
+    /// another op in the same instruction and must see the *old* value
+    /// (paper footnote 2).
+    #[test]
+    fn same_instruction_reads_see_entry_values() {
+        let mut g = Graph::new();
+        let a = g.named_reg("a");
+        let b_ = g.named_reg("b");
+        // node: { a = a+1 ; b = a }  — b must get the OLD a.
+        let inc = g.add_op(Operation::new(
+            OpKind::IAdd,
+            Some(a),
+            vec![Operand::Reg(a), Operand::Imm(Value::I(1))],
+        ));
+        let cp = g.add_op(Operation::new(OpKind::Copy, Some(b_), vec![Operand::Reg(a)]));
+        let n = g.add_node(Tree::Leaf { ops: vec![inc, cp], succ: None });
+        g.set_succ(g.entry, grip_ir::TreePath::ROOT, Some(n));
+        g.live_out = vec![a, b_];
+        g.validate().unwrap();
+        let mut m = Machine::for_graph(&g);
+        m.set_reg(a, Value::I(10));
+        m.run(&g).unwrap();
+        assert_eq!(m.reg(a), Some(Value::I(11)));
+        assert_eq!(m.reg(b_), Some(Value::I(10)));
+    }
+
+    /// IBM VLIW semantics: ops on the unselected side of a branch do not
+    /// commit.
+    #[test]
+    fn unselected_path_does_not_commit() {
+        let mut g = Graph::new();
+        let c = g.named_reg("c");
+        let t = g.named_reg("t");
+        let f = g.named_reg("f");
+        let root = g.named_reg("root");
+        let cj = g.add_op(Operation::new(OpKind::CondJump, None, vec![Operand::Reg(c)]));
+        let op_root =
+            g.add_op(Operation::new(OpKind::Copy, Some(root), vec![Operand::Imm(Value::I(7))]));
+        let op_t = g.add_op(Operation::new(OpKind::Copy, Some(t), vec![Operand::Imm(Value::I(1))]));
+        let op_f = g.add_op(Operation::new(OpKind::Copy, Some(f), vec![Operand::Imm(Value::I(2))]));
+        let n = g.add_node(Tree::Branch {
+            ops: vec![op_root],
+            cj,
+            on_true: Box::new(Tree::Leaf { ops: vec![op_t], succ: None }),
+            on_false: Box::new(Tree::Leaf { ops: vec![op_f], succ: None }),
+        });
+        g.set_succ(g.entry, grip_ir::TreePath::ROOT, Some(n));
+        g.live_out = vec![t, f, root];
+        g.validate().unwrap();
+
+        let mut m = Machine::for_graph(&g);
+        m.set_reg(c, Value::B(true));
+        m.run(&g).unwrap();
+        assert_eq!(m.reg(root), Some(Value::I(7))); // root ops commit always
+        assert_eq!(m.reg(t), Some(Value::I(1)));
+        assert_eq!(m.reg(f), None); // unselected side did not commit
+
+        let mut m = Machine::for_graph(&g);
+        m.set_reg(c, Value::B(false));
+        m.run(&g).unwrap();
+        assert_eq!(m.reg(t), None);
+        assert_eq!(m.reg(f), Some(Value::I(2)));
+    }
+
+    /// Branch conditions also read entry values, even if an op in the same
+    /// instruction overwrites the condition register.
+    #[test]
+    fn branch_condition_uses_entry_value() {
+        let mut g = Graph::new();
+        let c = g.named_reg("c");
+        let out = g.named_reg("out");
+        let clobber =
+            g.add_op(Operation::new(OpKind::Copy, Some(c), vec![Operand::Imm(Value::B(false))]));
+        let cj = g.add_op(Operation::new(OpKind::CondJump, None, vec![Operand::Reg(c)]));
+        let op_t =
+            g.add_op(Operation::new(OpKind::Copy, Some(out), vec![Operand::Imm(Value::I(1))]));
+        let n = g.add_node(Tree::Branch {
+            ops: vec![clobber],
+            cj,
+            on_true: Box::new(Tree::Leaf { ops: vec![op_t], succ: None }),
+            on_false: Box::new(Tree::leaf(None)),
+        });
+        g.set_succ(g.entry, grip_ir::TreePath::ROOT, Some(n));
+        g.live_out = vec![c, out];
+        g.validate().unwrap();
+        let mut m = Machine::for_graph(&g);
+        m.set_reg(c, Value::B(true));
+        m.run(&g).unwrap();
+        // true side taken (entry value), but c itself ends false (commit).
+        assert_eq!(m.reg(out), Some(Value::I(1)));
+        assert_eq!(m.reg(c), Some(Value::B(false)));
+    }
+
+    /// Loads fetch before stores commit, even within one instruction.
+    #[test]
+    fn load_sees_pre_store_memory() {
+        let mut g = Graph::new();
+        let x = g.array("x", 2);
+        let t = g.named_reg("t");
+        let ld = {
+            let mut op =
+                Operation::new(OpKind::Load(x), Some(t), vec![Operand::Imm(Value::I(0))]);
+            op.disp = 0;
+            g.add_op(op)
+        };
+        let st = g.add_op(Operation::new(
+            OpKind::Store(x),
+            None,
+            vec![Operand::Imm(Value::I(0)), Operand::Imm(Value::F(9.0))],
+        ));
+        let n = g.add_node(Tree::Leaf { ops: vec![st, ld], succ: None });
+        g.set_succ(g.entry, grip_ir::TreePath::ROOT, Some(n));
+        g.live_out = vec![t];
+        g.validate().unwrap();
+        let mut m = Machine::for_graph(&g);
+        m.set_array_f(x, &[5.0, 0.0]);
+        m.run(&g).unwrap();
+        assert_eq!(m.reg(t), Some(Value::F(5.0))); // old value
+        assert_eq!(m.array_f(x)[0], 9.0); // store committed
+    }
+
+    #[test]
+    fn equivalence_report_flags_differences() {
+        let (g, x) = scale_loop(4);
+        let mut m1 = Machine::for_graph(&g);
+        let mut m2 = Machine::for_graph(&g);
+        m1.set_array_f(x, &[1.0; 4]);
+        m2.set_array_f(x, &[1.0; 4]);
+        m1.run(&g).unwrap();
+        m2.run(&g).unwrap();
+        assert!(EquivReport::compare(&g, &m1, &m2).is_equal());
+        m2.set_array_f(x, &[0.0; 4]);
+        assert!(matches!(
+            EquivReport::compare(&g, &m1, &m2),
+            EquivReport::MemMismatch { index: 0, .. }
+        ));
+    }
+}
