@@ -117,14 +117,7 @@ impl AffineMap {
 /// May two resolved addresses (same array) refer to the same word?
 pub fn may_alias(a: Option<AffineAddr>, b: Option<AffineAddr>) -> bool {
     match (a, b) {
-        (Some(x), Some(y)) => {
-            if x.base == y.base {
-                x.offset == y.offset
-            } else {
-                // Different or mixed bases: cannot disambiguate.
-                true
-            }
-        }
+        (Some(x), Some(y)) if x.base == y.base => x.offset == y.offset,
         // Anything unknown may alias.
         _ => true,
     }
@@ -176,11 +169,18 @@ mod tests {
         let mut m = AffineMap::new();
         // d = s * 3 is not affine-in-one-register for our purposes
         m.observe(
-            &Operation::new(OpKind::IMul, Some(d), vec![Operand::Reg(s), Operand::Imm(Value::I(3))]),
+            &Operation::new(
+                OpKind::IMul,
+                Some(d),
+                vec![Operand::Reg(s), Operand::Imm(Value::I(3))],
+            ),
             OpId::new(0),
         );
         assert_eq!(m.resolve_addr(Operand::Reg(d), 0), None);
-        assert!(may_alias(m.resolve_addr(Operand::Reg(d), 0), Some(AffineAddr { base: None, offset: 3 })));
+        assert!(may_alias(
+            m.resolve_addr(Operand::Reg(d), 0),
+            Some(AffineAddr { base: None, offset: 3 })
+        ));
     }
 
     #[test]

@@ -36,9 +36,10 @@ impl Ddg {
         let mut succs: HashMap<OpId, Vec<OpId>> = HashMap::new();
         let mut preds: HashMap<OpId, Vec<OpId>> = HashMap::new();
         let mut mem_pairs = HashSet::new();
-        let edge = |a: OpId, b: OpId,
-                        succs: &mut HashMap<OpId, Vec<OpId>>,
-                        preds: &mut HashMap<OpId, Vec<OpId>>| {
+        let edge = |a: OpId,
+                    b: OpId,
+                    succs: &mut HashMap<OpId, Vec<OpId>>,
+                    preds: &mut HashMap<OpId, Vec<OpId>>| {
             if a == b {
                 return;
             }
@@ -123,14 +124,14 @@ impl Ddg {
     /// keys of the paper's §3.4 ranking heuristic.
     pub fn chain_metrics(&self) -> ChainMetrics {
         let n = self.order.len();
-        let idx: HashMap<OpId, usize> = self.order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        let idx: HashMap<OpId, usize> =
+            self.order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
         let mut chain = vec![1u32; n];
         let mut dependents = vec![0u32; n];
         // Reverse topological = reverse of build order (edges always go
         // forward in the linearization).
-        let mut desc: Vec<crate::bitset::BitSet> = (0..n)
-            .map(|_| crate::bitset::BitSet::new(n))
-            .collect();
+        let mut desc: Vec<crate::bitset::BitSet> =
+            (0..n).map(|_| crate::bitset::BitSet::new(n)).collect();
         for (i, &op) in self.order.iter().enumerate().rev() {
             let mut best = 0u32;
             for &s in self.succs(op) {

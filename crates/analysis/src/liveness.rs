@@ -23,10 +23,8 @@ impl Liveness {
     pub fn compute(g: &Graph) -> Liveness {
         let nreg = g.reg_count();
         let order = reverse_postorder(g, g.entry);
-        let mut lv = Liveness {
-            nreg,
-            live_in: order.iter().map(|&n| (n, BitSet::new(nreg))).collect(),
-        };
+        let mut lv =
+            Liveness { nreg, live_in: order.iter().map(|&n| (n, BitSet::new(nreg))).collect() };
         let mut changed = true;
         while changed {
             changed = false;
@@ -125,11 +123,7 @@ impl Liveness {
     /// Seed liveness for a node created after `compute` (a split copy) from
     /// the node it was cloned from.
     pub fn adopt(&mut self, new_node: NodeId, template: NodeId) {
-        let set = self
-            .live_in
-            .get(&template)
-            .cloned()
-            .unwrap_or_else(|| BitSet::new(self.nreg));
+        let set = self.live_in.get(&template).cloned().unwrap_or_else(|| BitSet::new(self.nreg));
         self.live_in.insert(new_node, set);
     }
 

@@ -19,6 +19,7 @@
 use grip_analysis::{Ddg, RankTable};
 use grip_core::{schedule_region, GripConfig, Resources};
 use grip_ir::{Graph, NodeId, OpId, RegId, Tree, TreePath};
+use grip_machine::{FuClass, MachineDesc, UNCAPPED};
 use grip_percolate::Ctx;
 use grip_pipeline::{
     detect, estimate_cpi, fu_lower_bound, perfect_pipeline, steady_rows, PipelineOptions,
@@ -31,10 +32,17 @@ use std::collections::HashSet;
 pub struct PostOptions {
     /// Unwind factor for the unconstrained phase.
     pub unwind: usize,
-    /// Functional units applied in the post-pass.
-    pub fus: usize,
+    /// The machine applied in the post-pass.
+    pub resources: Resources,
     /// Incremental dead-code removal.
     pub dce: bool,
+}
+
+impl PostOptions {
+    /// The paper's configuration: a flat `fus`-unit machine.
+    pub fn vliw(unwind: usize, fus: usize) -> PostOptions {
+        PostOptions { unwind, resources: Resources::vliw(fus), dce: true }
+    }
 }
 
 /// Run the two-phase POST pipeline on the canonical loop of `g`, in place.
@@ -55,16 +63,16 @@ pub fn post_pipeline(g: &mut Graph, opts: PostOptions) -> PipelineReport {
     let window = p1.window;
     let mut region = p1.region;
 
-    // Phase 2a: break over-wide instructions.
+    // Phase 2a: break instructions that violate the issue template.
     let ddg = Ddg::build(g, g.entry);
     let mut ctx = Ctx::new(g, &ddg);
     let ranks = RankTable::new(&ddg, true);
-    break_rows(g, &ranks, &mut region, opts.fus);
+    break_rows(g, &ranks, &mut region, opts.resources.desc());
     ctx.refresh(g);
 
     // Phase 2b: constrained re-percolation fills the holes.
     let cfg = GripConfig {
-        resources: Resources::vliw(opts.fus),
+        resources: opts.resources,
         gap_prevention: true,
         dce: opts.dce,
         speculation: Default::default(),
@@ -74,8 +82,9 @@ pub fn post_pipeline(g: &mut Graph, opts: PostOptions) -> PipelineReport {
 
     let steady = steady_rows(g, &out.region, window.head);
     let pattern = detect(g, &window, &steady);
-    let cpi_estimate = estimate_cpi(g, &window, &steady)
-        .map(|c| fu_lower_bound(g, &window, &steady, opts.fus).map_or(c, |b| c.max(b)));
+    let cpi_estimate = estimate_cpi(g, &window, &steady).map(|c| {
+        fu_lower_bound(g, &window, &steady, opts.resources.desc()).map_or(c, |b| c.max(b))
+    });
     PipelineReport {
         window,
         stats: out.stats,
@@ -87,13 +96,15 @@ pub fn post_pipeline(g: &mut Graph, opts: PostOptions) -> PipelineReport {
     }
 }
 
-/// Split every region row holding more than `fus` ordinary operations.
-/// Returns the number of spill rows created.
+/// Split every region row whose ordinary operations violate the machine's
+/// issue template (total width or any per-class slot cap). The
+/// highest-ranked operations that fit the template stay; the overflow
+/// peels into spill rows below. Returns the number of spill rows created.
 pub fn break_rows(
     g: &mut Graph,
     ranks: &RankTable,
     region: &mut Vec<NodeId>,
-    fus: usize,
+    desc: &MachineDesc,
 ) -> usize {
     let mut created = 0;
     let mut i = 0;
@@ -103,11 +114,13 @@ pub fn break_rows(
             region.remove(i);
             continue;
         }
-        if g.node_op_count(row) <= fus {
+        if desc.fits(g, row) {
             i += 1;
             continue;
         }
-        // Ops by descending priority; the lowest-ranked overflow peels off.
+        // Ops by descending priority; greedily keep what the template
+        // admits (for a flat machine this is exactly "the first `fus`"),
+        // the rest peels off.
         let mut ops: Vec<OpId> = g
             .node_ops(row)
             .into_iter()
@@ -115,7 +128,23 @@ pub fn break_rows(
             .filter(|&o| !g.op(o).kind.is_cj())
             .collect();
         ranks.sort(g, &mut ops);
-        let mut peel: HashSet<OpId> = ops[fus..].iter().copied().collect();
+        let mut kept = 0usize;
+        let mut kept_class = [0usize; FuClass::COUNT];
+        let mut peel: HashSet<OpId> = HashSet::new();
+        for &o in &ops {
+            let c = FuClass::of(g.op(o).kind);
+            let cap = desc.class_slots[c.index()];
+            if kept < desc.width && (cap == UNCAPPED || kept_class[c.index()] < cap) {
+                kept += 1;
+                kept_class[c.index()] += 1;
+            } else {
+                peel.insert(o);
+            }
+        }
+        if peel.is_empty() {
+            i += 1;
+            continue;
+        }
         // Entry-fetch closure: if a peeled op reads a register written by a
         // remaining op, that writer must be peeled too (its old value would
         // otherwise be destroyed before the moved read).
@@ -139,13 +168,22 @@ pub fn break_rows(
                 break;
             }
         }
-        if peel.is_empty() || peel.len() == ops.len() && g.node_op_count(row) <= fus {
+        if peel.len() == ops.len() {
+            // The entry-fetch closure swallowed the whole row: moving
+            // everything down would recreate the identical row below and
+            // never terminate. Leave the row; the simulator's template
+            // check reports the residual violation.
             i += 1;
             continue;
         }
         // Spill each peeled op onto every outgoing path below its guard
         // position (ops at branch positions must keep committing on all
-        // their paths, so residues are duplicated per path).
+        // their paths, so residues are duplicated per path). Spill in rank
+        // order — iterating the HashSet directly would make spill-row op
+        // order (and thus Phase 2b tie-breaking) nondeterministic.
+        let mut peel: Vec<OpId> = peel.into_iter().collect();
+        peel.sort_unstable(); // stable id order under rank ties
+        ranks.sort(g, &mut peel);
         let mut spills: Vec<(TreePath, NodeId)> = Vec::new();
         for op in peel {
             let pos = match g.node(row).tree.position_of(op) {

@@ -75,12 +75,13 @@ impl<'g, 'a> UnifiableSched<'g, 'a> {
         let mut j = 1;
         while j < self.region.len() {
             let n = self.region[j];
-            if self.g.node_exists(n) && self.g.node(n).tree.is_empty() {
-                if grip_percolate::try_delete_empty(self.g, self.ctx, n) {
-                    self.region.remove(j);
-                    self.reindex();
-                    continue;
-                }
+            if self.g.node_exists(n)
+                && self.g.node(n).tree.is_empty()
+                && grip_percolate::try_delete_empty(self.g, self.ctx, n)
+            {
+                self.region.remove(j);
+                self.reindex();
+                continue;
             }
             j += 1;
         }

@@ -37,8 +37,7 @@ fn unifiable_preserves_semantics_and_respects_width() {
         let mut ctx = Ctx::new(&g, &ddg);
         let ranks = RankTable::new(&ddg, false);
         let region = g.reachable();
-        let (stats, _) =
-            schedule_unifiable(&mut g, &mut ctx, &ranks, Resources::vliw(fus), region);
+        let (stats, _) = schedule_unifiable(&mut g, &mut ctx, &ranks, Resources::vliw(fus), region);
         g.validate().unwrap();
         assert!(stats.arrivals > 0);
         assert!(stats.membership_tests >= stats.arrivals);
@@ -115,7 +114,7 @@ fn post_is_exact_and_never_beats_grip() {
             );
 
             let mut g_post = g0.clone();
-            let post = post_pipeline(&mut g_post, PostOptions { unwind: 2 * fus.min(8), fus, dce: true });
+            let post = post_pipeline(&mut g_post, PostOptions::vliw(2 * fus.min(8), fus));
             g_post.validate().unwrap();
 
             // POST stays semantically exact.
@@ -147,7 +146,7 @@ fn post_breaking_respects_width_on_steady_rows() {
     let k = kernels().iter().find(|k| k.name == "LL1").unwrap();
     let n = if cfg!(debug_assertions) { 20 } else { 48 };
     let mut g = (k.build)(n);
-    let post = post_pipeline(&mut g, PostOptions { unwind: 8, fus: 4, dce: true });
+    let post = post_pipeline(&mut g, PostOptions::vliw(8, 4));
     for &row in &post.steady {
         if g.node_exists(row) {
             assert!(

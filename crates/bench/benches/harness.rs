@@ -1,0 +1,31 @@
+//! A dependency-free micro-benchmark harness (the container is offline,
+//! so criterion is unavailable): warm up, run a fixed number of timed
+//! iterations, report the mean and min wall-clock time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations (override with `GRIP_BENCH_ITERS`; values
+/// below 1 are clamped).
+pub fn iters() -> u32 {
+    std::env::var("GRIP_BENCH_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(10).max(1)
+}
+
+/// Time `f` (with per-iteration setup) and print one report line.
+pub fn bench<S, T, U>(name: &str, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> (T, U)) {
+    // Warm-up.
+    let s = setup();
+    let _ = f(s);
+    let n = iters();
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..n {
+        let s = setup();
+        let t0 = Instant::now();
+        let out = f(s);
+        let dt = t0.elapsed();
+        std::hint::black_box(out);
+        total += dt;
+        min = min.min(dt);
+    }
+    println!("{name:<40} mean {:>12.3?}   min {:>12.3?}   ({n} iters)", total / n, min);
+}

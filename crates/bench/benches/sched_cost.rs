@@ -2,7 +2,9 @@
 //! Moveable-ops sets vs the Unifiable-ops technique's per-pick membership
 //! walks. Measures wall-clock scheduling time on identical inputs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#[path = "harness.rs"]
+mod harness;
+
 use grip_analysis::{Ddg, RankTable};
 use grip_baselines::schedule_unifiable;
 use grip_core::{schedule_region, GripConfig, Resources};
@@ -20,60 +22,42 @@ fn prep(name: &str, u: usize) -> (Graph, Vec<grip_ir::NodeId>) {
     (g, w.rows)
 }
 
-fn bench_sched_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler_cost");
+fn main() {
+    println!("scheduler_cost");
     for (kernel, u) in [("LL1", 6), ("LL7", 4), ("LL12", 8)] {
-        group.bench_with_input(
-            BenchmarkId::new("grip", format!("{kernel}_u{u}")),
-            &(kernel, u),
-            |b, &(kernel, u)| {
-                b.iter_batched(
-                    || prep(kernel, u),
-                    |(mut g, rows)| {
-                        let ddg = Ddg::build(&g, g.entry);
-                        let mut ctx = Ctx::new(&g, &ddg);
-                        let ranks = RankTable::new(&ddg, true);
-                        schedule_region(
-                            &mut g,
-                            &mut ctx,
-                            &ranks,
-                            GripConfig {
-                                resources: Resources::vliw(4),
-                                gap_prevention: true,
-                                dce: true,
-                                speculation: Default::default(),
-                                trace: false,
-                            },
-                            rows,
-                        )
+        harness::bench(
+            &format!("grip/{kernel}_u{u}"),
+            || prep(kernel, u),
+            |(mut g, rows)| {
+                let ddg = Ddg::build(&g, g.entry);
+                let mut ctx = Ctx::new(&g, &ddg);
+                let ranks = RankTable::new(&ddg, true);
+                let out = schedule_region(
+                    &mut g,
+                    &mut ctx,
+                    &ranks,
+                    GripConfig {
+                        resources: Resources::vliw(4),
+                        gap_prevention: true,
+                        dce: true,
+                        speculation: Default::default(),
+                        trace: false,
                     },
-                    criterion::BatchSize::LargeInput,
-                )
+                    rows,
+                );
+                (out.stats.hops, g)
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("unifiable", format!("{kernel}_u{u}")),
-            &(kernel, u),
-            |b, &(kernel, u)| {
-                b.iter_batched(
-                    || prep(kernel, u),
-                    |(mut g, rows)| {
-                        let ddg = Ddg::build(&g, g.entry);
-                        let mut ctx = Ctx::new(&g, &ddg);
-                        let ranks = RankTable::new(&ddg, true);
-                        schedule_unifiable(&mut g, &mut ctx, &ranks, Resources::vliw(4), rows)
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
+        harness::bench(
+            &format!("unifiable/{kernel}_u{u}"),
+            || prep(kernel, u),
+            |(mut g, rows)| {
+                let ddg = Ddg::build(&g, g.entry);
+                let mut ctx = Ctx::new(&g, &ddg);
+                let ranks = RankTable::new(&ddg, true);
+                let out = schedule_unifiable(&mut g, &mut ctx, &ranks, Resources::vliw(4), rows);
+                (out.0.hops, g)
             },
         );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sched_cost
-}
-criterion_main!(benches);

@@ -1,13 +1,15 @@
 //! Substrate throughput: the VLIW simulator executing sequential and
 //! pipelined kernels (instructions per second of simulated machine).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+#[path = "harness.rs"]
+mod harness;
+
 use grip_bench::run_grip;
 use grip_kernels::{default_init, kernels};
 use grip_vm::Machine;
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
+fn main() {
+    println!("simulator");
     let k = kernels().iter().find(|k| k.name == "LL1").unwrap();
     let n = 1000i64;
 
@@ -15,33 +17,29 @@ fn bench_simulator(c: &mut Criterion) {
     let mut m = Machine::for_graph(&g_seq);
     default_init(&g_seq, &mut m, n);
     let cycles = m.run(&g_seq).unwrap().cycles;
-    group.throughput(Throughput::Elements(cycles));
-    group.bench_with_input(BenchmarkId::new("LL1", "sequential"), &(), |b, _| {
-        b.iter(|| {
+    println!("LL1/sequential: {cycles} cycles per run");
+    harness::bench(
+        "LL1/sequential",
+        || (),
+        |()| {
             let mut m = Machine::for_graph(&g_seq);
             default_init(&g_seq, &mut m, n);
-            m.run(&g_seq).unwrap()
-        })
-    });
+            (m.run(&g_seq).unwrap(), ())
+        },
+    );
 
     let (g_pipe, _) = run_grip(k, n, 8);
     let mut m = Machine::for_graph(&g_pipe);
     default_init(&g_pipe, &mut m, n);
     let cycles = m.run(&g_pipe).unwrap().cycles;
-    group.throughput(Throughput::Elements(cycles));
-    group.bench_with_input(BenchmarkId::new("LL1", "pipelined_8fu"), &(), |b, _| {
-        b.iter(|| {
+    println!("LL1/pipelined_8fu: {cycles} cycles per run");
+    harness::bench(
+        "LL1/pipelined_8fu",
+        || (),
+        |()| {
             let mut m = Machine::for_graph(&g_pipe);
             default_init(&g_pipe, &mut m, n);
-            m.run(&g_pipe).unwrap()
-        })
-    });
-    group.finish();
+            (m.run(&g_pipe).unwrap(), ())
+        },
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_simulator
-}
-criterion_main!(benches);

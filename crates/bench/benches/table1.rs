@@ -1,33 +1,19 @@
 //! End-to-end pipeline cost for Table 1 cells: the full unwind → analyze →
 //! GRiP → pattern stack on representative kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+#[path = "harness.rs"]
+mod harness;
+
 use grip_bench::{run_grip, run_post};
 use grip_kernels::kernels;
 
-fn bench_table1_cells(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_cell");
+fn main() {
+    println!("table1_cell");
     for name in ["LL1", "LL5", "LL13"] {
         let k = kernels().iter().find(|k| k.name == name).unwrap();
         for fus in [2usize, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("grip_{name}"), fus),
-                &fus,
-                |b, &fus| b.iter(|| run_grip(k, 48, fus)),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("post_{name}"), fus),
-                &fus,
-                |b, &fus| b.iter(|| run_post(k, 48, fus)),
-            );
+            harness::bench(&format!("grip_{name}/{fus}"), || (), |()| run_grip(k, 48, fus));
+            harness::bench(&format!("post_{name}/{fus}"), || (), |()| run_post(k, 48, fus));
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1_cells
-}
-criterion_main!(benches);

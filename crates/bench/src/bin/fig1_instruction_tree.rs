@@ -21,7 +21,8 @@ fn main() {
 
     // One instruction: root op always commits; cj1 picks between the n1
     // path (with its own op) and a second branch cj2 selecting n2/n3.
-    let root_op = g.add_op(Operation::new(OpKind::Copy, Some(r1), vec![Operand::Imm(Value::I(10))]));
+    let root_op =
+        g.add_op(Operation::new(OpKind::Copy, Some(r1), vec![Operand::Imm(Value::I(10))]));
     let t_op = g.add_op(Operation::new(OpKind::Copy, Some(r2), vec![Operand::Imm(Value::I(20))]));
     let f_op = g.add_op(Operation::new(OpKind::Copy, Some(r3), vec![Operand::Imm(Value::I(30))]));
     let cj1 = g.add_op(Operation::new(OpKind::CondJump, None, vec![Operand::Reg(c1)]));

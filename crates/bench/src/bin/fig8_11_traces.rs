@@ -56,12 +56,12 @@ fn unifiable(g: &Graph, order: &[NodeId], n: NodeId) -> Vec<OpId> {
                     g.op(w).dest.is_some_and(|d| g.op(op).reads_reg(d))
                         && g.op(w).kind != OpKind::Copy
                 })
-            }) || order[pos..=pos]
-                .iter()
-                .any(|&t| g.node_ops(t).iter().any(|&(_, w)| {
+            }) || order[pos..=pos].iter().any(|&t| {
+                g.node_ops(t).iter().any(|&(_, w)| {
                     g.op(w).dest.is_some_and(|d| g.op(op).reads_reg(d))
                         && g.op(w).kind != OpKind::Copy
-                }));
+                })
+            });
             if !blocked {
                 out.push(op);
             }
@@ -83,8 +83,7 @@ fn main() {
     println!("Figure 8 vs Figure 11: candidate sets per node (initial state)\n");
     println!("{:<8} {:<22} {:<22}", "node", "Unifiable-ops", "Moveable-ops");
     for &n in &order {
-        let ops: Vec<String> =
-            g.node_ops(n).iter().map(|&(_, o)| label(&g, o)).collect();
+        let ops: Vec<String> = g.node_ops(n).iter().map(|&(_, o)| label(&g, o)).collect();
         println!(
             "{:<8} {:<22} {:<22}   holds [{}]",
             n.to_string(),

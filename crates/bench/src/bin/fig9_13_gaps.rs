@@ -35,10 +35,9 @@ fn main() {
             .iter()
             .map(|&r| g.node_ops(r).iter().any(|&(_, o)| g.op(o).iter == it))
             .collect();
-        if let (Some(f), Some(l)) = (
-            touched.iter().position(|&b| b),
-            touched.iter().rposition(|&b| b),
-        ) {
+        if let (Some(f), Some(l)) =
+            (touched.iter().position(|&b| b), touched.iter().rposition(|&b| b))
+        {
             gap_rows += touched[f..=l].iter().filter(|&&b| !b).count();
         }
     }

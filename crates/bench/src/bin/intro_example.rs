@@ -28,7 +28,7 @@ fn main() {
     );
 
     let mut g_post = intro_five_op_loop(n);
-    let post = post_pipeline(&mut g_post, PostOptions { unwind: 12, fus, dce: true });
+    let post = post_pipeline(&mut g_post, PostOptions::vliw(12, fus));
 
     let ops_per_iter = 5.0;
     println!("§1 example: 5-op vectorizable loop on a {fus}-FU machine\n");

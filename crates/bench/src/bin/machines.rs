@@ -1,0 +1,46 @@
+//! Sweep the machine-description presets (`uniform2/4/8`, `clustered`,
+//! `mem_bound`, `epic8`) over the Livermore Loops and emit
+//! `BENCH_machines.json`: latency-aware model cycles, speedup vs the
+//! sequential program on the *same* machine, stalls, and schedule length.
+//!
+//! Every cell is backed by a bitwise simulation equivalence check plus
+//! the simulator's issue-template validation.
+//!
+//! Usage: `machines [trip-count] [--seq]` (default n = 100, parallel).
+
+use grip_bench::machines::{machine_table, machines_json, render_machines};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: i64 = args.iter().find_map(|a| a.parse::<i64>().ok()).unwrap_or(100);
+    let parallel = !args.iter().any(|a| a == "--seq");
+
+    eprintln!("machine sweep: n = {n}, 14 kernels × 6 presets …");
+    let t0 = std::time::Instant::now();
+    let cells = machine_table(n, parallel);
+    eprintln!("measured in {:.1?}\n", t0.elapsed());
+
+    println!("Machine presets over LL1-LL14 (latency-aware model cycles)");
+    println!("==========================================================");
+    print!("{}", render_machines(&cells));
+
+    let path = "BENCH_machines.json";
+    match std::fs::write(path, machines_json(n, &cells).pretty()) {
+        Ok(()) => eprintln!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+
+    let bad: Vec<&_> = cells.iter().filter(|c| !c.verified || c.template_violations > 0).collect();
+    if bad.is_empty() {
+        println!("\nAll cells verified against sequential execution; no template violations.");
+    } else {
+        println!("\nVIOLATIONS:");
+        for c in bad {
+            println!(
+                "  {} on {}: verified={} template_violations={}",
+                c.kernel, c.machine, c.verified, c.template_violations
+            );
+        }
+        std::process::exit(1);
+    }
+}

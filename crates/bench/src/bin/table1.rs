@@ -11,10 +11,7 @@ use grip_bench::{render_table1, table1};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let n: i64 = args
-        .iter()
-        .find_map(|a| a.parse::<i64>().ok())
-        .unwrap_or(100);
+    let n: i64 = args.iter().find_map(|a| a.parse::<i64>().ok()).unwrap_or(100);
     let parallel = !args.iter().any(|a| a == "--seq");
 
     eprintln!("Table 1 sweep: n = {n}, {} kernels × 3 widths × 2 schedulers …", 14);
@@ -27,7 +24,7 @@ fn main() {
     print!("{}", render_table1(&rows));
 
     // Machine-readable record for EXPERIMENTS.md.
-    let json = serde_json::to_string_pretty(&rows).expect("serializable");
+    let json = grip_bench::json::Json::Arr(rows.iter().map(|r| r.to_json()).collect()).pretty();
     let path = "results_table1.json";
     if std::fs::write(path, json).is_ok() {
         eprintln!("\nwrote {path}");

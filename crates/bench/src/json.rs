@@ -1,0 +1,184 @@
+//! A minimal JSON writer (the container has no network, so the harness
+//! carries its own serializer instead of depending on `serde`).
+//!
+//! Only what the bench reports need: objects, arrays, strings, numbers,
+//! and booleans, with deterministic field order and stable float
+//! formatting (finite floats print with enough digits to round-trip;
+//! non-finite values print as `null`, matching JSON's number grammar).
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// A float (`NaN`/`inf` serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a field to an object (panics on non-objects).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("field() on non-object"),
+        }
+        self
+    }
+
+    /// Render with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        Json::Int(i as i64)
+    }
+}
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::Int(i as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_stable_pretty_json() {
+        let j = Json::obj()
+            .field("name", "LL1\"x\"")
+            .field("ok", true)
+            .field("n", 3usize)
+            .field("speedup", 3.5f64)
+            .field("nan", f64::NAN)
+            .field("rows", Json::Arr(vec![Json::Int(1), Json::Int(2)]));
+        let s = j.pretty();
+        assert!(s.contains("\"name\": \"LL1\\\"x\\\"\""));
+        assert!(s.contains("\"speedup\": 3.5"));
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.starts_with("{\n") && s.ends_with('}'));
+        assert!(Json::obj().pretty() == "{}");
+    }
+}

@@ -10,11 +10,18 @@
 //! * criterion benches (`sched_cost`, `table1`, `simulator`) — the §1/§3.1
 //!   computational-efficiency claims and raw substrate throughput.
 //!
-//! The kernel sweep runs one crossbeam worker per kernel.
+//! * `machines` binary — the preset sweep: every [`grip_core::MachineDesc`]
+//!   preset over LL1–LL14, with latency-aware simulation
+//!   (`BENCH_machines.json`).
+//!
+//! The kernel sweep runs one scoped-thread worker per kernel. Reports are
+//! serialized by the dependency-free [`json`] module.
 
 #![warn(missing_docs)]
 
 pub mod examples;
+pub mod json;
+pub mod machines;
 
 use grip_baselines::{post_pipeline, PostOptions};
 use grip_core::Resources;
@@ -22,10 +29,10 @@ use grip_ir::Graph;
 use grip_kernels::Kernel;
 use grip_pipeline::{perfect_pipeline, PipelineOptions, PipelineReport};
 use grip_vm::{EquivReport, Machine};
-use serde::Serialize;
+use json::Json;
 
 /// One (kernel × FU) measurement.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Cell {
     /// GRiP loop-body speedup.
     pub grip: f64,
@@ -38,8 +45,19 @@ pub struct Cell {
     pub verified: bool,
 }
 
+impl Cell {
+    /// Serialize for the machine-readable report.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("grip", self.grip)
+            .field("post", self.post)
+            .field("grip_exact_pattern", self.grip_exact_pattern)
+            .field("verified", self.verified)
+    }
+}
+
 /// One Table 1 row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Row {
     /// Kernel name (`LL1`…).
     pub name: String,
@@ -53,6 +71,19 @@ pub struct Table1Row {
     pub paper_post: [f64; 3],
     /// Sequential cycles per iteration (the baseline).
     pub seq_cpi: f64,
+}
+
+impl Table1Row {
+    /// Serialize for the machine-readable report.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("name", self.name.as_str())
+            .field("class", self.class.as_str())
+            .field("cells", self.cells.iter().map(Cell::to_json).collect::<Vec<_>>())
+            .field("paper_grip", self.paper_grip.iter().map(|&x| Json::Num(x)).collect::<Vec<_>>())
+            .field("paper_post", self.paper_post.iter().map(|&x| Json::Num(x)).collect::<Vec<_>>())
+            .field("seq_cpi", self.seq_cpi)
+    }
 }
 
 /// The FU configurations of Table 1.
@@ -84,7 +115,7 @@ pub fn run_grip(k: &Kernel, n: i64, fus: usize) -> (Graph, PipelineReport) {
 /// Run POST on a kernel at the given width.
 pub fn run_post(k: &Kernel, n: i64, fus: usize) -> (Graph, PipelineReport) {
     let mut g = (k.build)(n);
-    let rep = post_pipeline(&mut g, PostOptions { unwind: unwind_for(fus), fus, dce: true });
+    let rep = post_pipeline(&mut g, PostOptions::vliw(unwind_for(fus), fus));
     (g, rep)
 }
 
@@ -131,23 +162,22 @@ pub fn measure_kernel(k: &Kernel, n: i64) -> Table1Row {
     }
 }
 
-/// Measure all kernels, one crossbeam worker per kernel.
+/// Measure all kernels, one scoped-thread worker per kernel.
 pub fn table1(n: i64, parallel: bool) -> Vec<Table1Row> {
     let ks = grip_kernels::kernels();
     if !parallel {
         return ks.iter().map(|k| measure_kernel(k, n)).collect();
     }
     let mut rows: Vec<Option<Table1Row>> = (0..ks.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for k in ks {
-            handles.push(scope.spawn(move |_| measure_kernel(k, n)));
+            handles.push(scope.spawn(move || measure_kernel(k, n)));
         }
         for (slot, h) in rows.iter_mut().zip(handles) {
             *slot = Some(h.join().expect("kernel worker panicked"));
         }
-    })
-    .expect("scope");
+    });
     rows.into_iter().map(|r| r.expect("filled")).collect()
 }
 

@@ -1,0 +1,212 @@
+//! The machine-preset sweep: every ready-made [`MachineDesc`] preset over
+//! LL1–LL14, with latency-aware simulation of both the sequential and the
+//! scheduled program, feeding `BENCH_machines.json`.
+//!
+//! Unlike Table 1 (loop-body CPI ratios under the paper's unit-latency
+//! model), this sweep reports *wall-clock* model cycles: the simulator
+//! charges interlock stalls for multi-cycle latencies, so a preset's
+//! speedup reflects both the packing the scheduler achieved and the
+//! hazards it avoided.
+
+use crate::json::Json;
+use crate::unwind_for;
+use grip_core::{MachineDesc, Resources};
+use grip_kernels::Kernel;
+use grip_pipeline::{perfect_pipeline, PipelineOptions};
+use grip_vm::{EquivReport, Machine};
+
+/// One (machine × kernel) measurement.
+#[derive(Clone, Debug)]
+pub struct MachineCell {
+    /// Preset name (`uniform4`, `clustered`, …).
+    pub machine: String,
+    /// Kernel name (`LL1`…).
+    pub kernel: String,
+    /// Model cycles (instructions + stalls) of the sequential program.
+    pub seq_cycles: u64,
+    /// Model cycles of the scheduled program.
+    pub sched_cycles: u64,
+    /// Stall cycles charged to the scheduled program.
+    pub sched_stalls: u64,
+    /// Wall-clock speedup: `seq_cycles / sched_cycles`.
+    pub speedup: f64,
+    /// Loop-body CPI speedup from the pipeline report (unit-cycle view).
+    pub body_speedup: f64,
+    /// Steady rows of the scheduled window (the schedule length).
+    pub schedule_rows: usize,
+    /// Scheduled program matched the sequential program bitwise.
+    pub verified: bool,
+    /// Issue-template violations observed while simulating the schedule.
+    pub template_violations: u64,
+}
+
+impl MachineCell {
+    /// Serialize for `BENCH_machines.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("machine", self.machine.as_str())
+            .field("kernel", self.kernel.as_str())
+            .field("seq_cycles", self.seq_cycles)
+            .field("sched_cycles", self.sched_cycles)
+            .field("sched_stalls", self.sched_stalls)
+            .field("speedup", self.speedup)
+            .field("body_speedup", self.body_speedup)
+            .field("schedule_rows", self.schedule_rows)
+            .field("verified", self.verified)
+            .field("template_violations", self.template_violations)
+    }
+}
+
+/// Display name for a preset (`uniform` widths get their width appended).
+pub fn preset_label(desc: &MachineDesc) -> String {
+    if desc.name == "uniform" {
+        format!("uniform{}", desc.width)
+    } else {
+        desc.name.to_string()
+    }
+}
+
+/// Measure one kernel on one machine.
+pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
+    let g0 = (k.build)(n);
+    let mut g = g0.clone();
+    let width = desc.width.min(8);
+    let rep = perfect_pipeline(
+        &mut g,
+        PipelineOptions {
+            unwind: unwind_for(width),
+            resources: Resources::machine(desc),
+            fold_inductions: true,
+            gap_prevention: true,
+            dce: true,
+            try_roll: false,
+        },
+    );
+
+    let mut m0 = Machine::for_graph(&g0);
+    (k.init)(&g0, &mut m0, n);
+    let seq = m0.run_model(&g0, &desc);
+    let mut m1 = Machine::for_graph(&g);
+    (k.init)(&g, &mut m1, n);
+    let sched = m1.run_model(&g, &desc);
+
+    let verified = match (&seq, &sched) {
+        (Ok(_), Ok(_)) => EquivReport::compare(&g0, &m0, &m1).is_equal(),
+        _ => false,
+    };
+    let seq_cycles = seq.map(|s| s.total_cycles()).unwrap_or(0);
+    let (sched_cycles, sched_stalls, template_violations) = sched
+        .map(|s| (s.total_cycles(), s.stall_cycles, s.template_violations))
+        .unwrap_or((0, 0, 0));
+    MachineCell {
+        machine: preset_label(&desc),
+        kernel: k.name.to_string(),
+        seq_cycles,
+        sched_cycles,
+        sched_stalls,
+        speedup: if sched_cycles > 0 { seq_cycles as f64 / sched_cycles as f64 } else { f64::NAN },
+        body_speedup: rep.speedup().unwrap_or(f64::NAN),
+        schedule_rows: rep.steady.len(),
+        verified,
+        template_violations,
+    }
+}
+
+/// Sweep every preset over every kernel, one scoped-thread worker per
+/// kernel.
+pub fn machine_table(n: i64, parallel: bool) -> Vec<MachineCell> {
+    let ks = grip_kernels::kernels();
+    let presets = MachineDesc::presets();
+    let sweep_kernel = |k: &'static Kernel| -> Vec<MachineCell> {
+        presets.iter().map(|&d| measure_machine(k, n, d)).collect()
+    };
+    if !parallel {
+        return ks.iter().flat_map(sweep_kernel).collect();
+    }
+    let mut rows: Vec<Vec<MachineCell>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ks.iter().map(|k| scope.spawn(move || sweep_kernel(k))).collect();
+        for h in handles {
+            rows.push(h.join().expect("kernel worker panicked"));
+        }
+    });
+    rows.into_iter().flatten().collect()
+}
+
+/// The whole sweep as one JSON document.
+pub fn machines_json(n: i64, cells: &[MachineCell]) -> Json {
+    Json::obj()
+        .field("bench", "machines")
+        .field("trip_count", n)
+        .field(
+            "machines",
+            MachineDesc::presets()
+                .iter()
+                .map(|d| {
+                    Json::obj()
+                        .field("name", preset_label(d))
+                        .field("width", if d.width == usize::MAX { -1i64 } else { d.width as i64 })
+                        .field("alu", slot_json(d, 0))
+                        .field("fpu", slot_json(d, 1))
+                        .field("mem", slot_json(d, 2))
+                        .field("max_latency", u64::from(d.max_latency()))
+                })
+                .collect::<Vec<_>>(),
+        )
+        .field("cells", cells.iter().map(MachineCell::to_json).collect::<Vec<_>>())
+}
+
+fn slot_json(d: &MachineDesc, idx: usize) -> i64 {
+    if d.class_slots[idx] == usize::MAX {
+        -1
+    } else {
+        d.class_slots[idx] as i64
+    }
+}
+
+/// Human-readable sweep table (one row per machine × kernel).
+pub fn render_machines(cells: &[MachineCell]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:<6} {:>10} {:>10} {:>8} {:>8} {:>6}  ok",
+        "machine", "loop", "seq cyc", "sched cyc", "stalls", "speedup", "rows"
+    );
+    for c in cells {
+        let _ = writeln!(
+            s,
+            "{:<10} {:<6} {:>10} {:>10} {:>8} {:>8.2} {:>6}  {}",
+            c.machine,
+            c.kernel,
+            c.seq_cycles,
+            c.sched_cycles,
+            c.sched_stalls,
+            c.speedup,
+            c.schedule_rows,
+            if c.verified && c.template_violations == 0 { "yes" } else { "NO" },
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cell_measures_and_verifies() {
+        let k = grip_kernels::kernels().iter().find(|k| k.name == "LL12").unwrap();
+        let cell = measure_machine(k, 24, MachineDesc::clustered());
+        assert!(cell.verified, "{cell:?}");
+        assert_eq!(cell.template_violations, 0, "{cell:?}");
+        assert!(cell.speedup > 1.0, "{cell:?}");
+        assert!(cell.schedule_rows > 0);
+    }
+
+    #[test]
+    fn preset_labels_distinguish_uniform_widths() {
+        assert_eq!(preset_label(&MachineDesc::uniform(4)), "uniform4");
+        assert_eq!(preset_label(&MachineDesc::epic8()), "epic8");
+    }
+}

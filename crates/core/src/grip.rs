@@ -99,6 +99,9 @@ pub struct ScheduleStats {
     pub gap_rejections: u64,
     /// Hops rejected because the target instruction was full.
     pub resource_blocks: u64,
+    /// Hops rejected because landing would put the op closer to a
+    /// multi-cycle producer than the producer's latency.
+    pub latency_blocks: u64,
     /// Dead operations removed during scheduling.
     pub dce_removed: u64,
     /// Empty instructions deleted.
@@ -279,11 +282,7 @@ impl<'g, 'a> Grip<'g, 'a> {
             }
             // Deadlock guard: a suspension with no other moveable op below
             // would spin — treat the op as frozen for this node.
-            if suspended_now
-                && self
-                    .pick_candidate(n, &dep_skip, &res_skip)
-                    .is_none()
-            {
+            if suspended_now && self.pick_candidate(n, &dep_skip, &res_skip).is_none() {
                 self.suspended.remove(&op);
                 dep_skip.insert(op);
             }
@@ -356,7 +355,11 @@ impl<'g, 'a> Grip<'g, 'a> {
         let mut progressed = false;
         loop {
             let Some(cur) = self.g.placement(op) else {
-                return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::NoPath) };
+                return if progressed {
+                    Migrated::Partial
+                } else {
+                    Migrated::Stuck(StuckReason::NoPath)
+                };
             };
             if cur == n {
                 return Migrated::Arrived;
@@ -364,15 +367,20 @@ impl<'g, 'a> Grip<'g, 'a> {
             // No op leaves a node that holds a suspended op (nothing may
             // pass a suspended operation).
             if self.cfg.gap_prevention
-                && self
-                    .suspended
-                    .keys()
-                    .any(|&s| s != op && self.g.placement(s) == Some(cur))
+                && self.suspended.keys().any(|&s| s != op && self.g.placement(s) == Some(cur))
             {
-                return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::Dependence) };
+                return if progressed {
+                    Migrated::Partial
+                } else {
+                    Migrated::Stuck(StuckReason::Dependence)
+                };
             }
             let Some((parent, path)) = self.parent_toward(n, cur) else {
-                return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::NoPath) };
+                return if progressed {
+                    Migrated::Partial
+                } else {
+                    Migrated::Stuck(StuckReason::NoPath)
+                };
             };
             // Rule 3: never land above the deepest suspended op.
             if self.cfg.gap_prevention && !self.suspended.is_empty() {
@@ -384,13 +392,30 @@ impl<'g, 'a> Grip<'g, 'a> {
                     .max();
                 if let Some(dp) = deepest {
                     if self.pos.get(&parent).copied().unwrap_or(usize::MAX) < dp {
-                        return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::Dependence) };
+                        return if progressed {
+                            Migrated::Partial
+                        } else {
+                            Migrated::Stuck(StuckReason::Dependence)
+                        };
                     }
                 }
             }
             if !self.cfg.resources.has_room(self.g, parent, op) {
                 self.stats.resource_blocks += 1;
-                return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::Resources) };
+                return if progressed {
+                    Migrated::Partial
+                } else {
+                    Migrated::Stuck(StuckReason::Resources)
+                };
+            }
+            if self.latency_blocked(parent, op) {
+                self.stats.latency_blocks += 1;
+                self.stats.resource_blocks += 1;
+                return if progressed {
+                    Migrated::Partial
+                } else {
+                    Migrated::Stuck(StuckReason::Resources)
+                };
             }
             if self.cfg.gap_prevention && !self.gapless_move(cur, parent, op) {
                 self.stats.gap_rejections += 1;
@@ -421,14 +446,24 @@ impl<'g, 'a> Grip<'g, 'a> {
                     }
                 }
                 Err(_) => {
-                    return if progressed { Migrated::Partial } else { Migrated::Stuck(StuckReason::Dependence) };
+                    return if progressed {
+                        Migrated::Partial
+                    } else {
+                        Migrated::Stuck(StuckReason::Dependence)
+                    };
                 }
             }
         }
     }
 
     /// Execute one legality-checked hop `cur -> parent`.
-    fn hop(&mut self, cur: NodeId, parent: NodeId, op: OpId, path: TreePath) -> Result<(), MoveFail> {
+    fn hop(
+        &mut self,
+        cur: NodeId,
+        parent: NodeId,
+        op: OpId,
+        path: TreePath,
+    ) -> Result<(), MoveFail> {
         let is_cj = self.g.op(op).kind.is_cj();
         if is_cj {
             let plan = plan_move_cj(self.g, self.ctx, cur, parent, op, path, None)?;
@@ -449,14 +484,19 @@ impl<'g, 'a> Grip<'g, 'a> {
             if plan.needs_rename && self.g.op(op).kind == grip_ir::OpKind::Copy {
                 return Err(MoveFail::TrueDep { reader: op, writer: op });
             }
+            // A renaming move leaves a compensation copy (an ALU op) in
+            // `cur` where the moved op used to be. On a flat machine the
+            // swap is free — same width — but with per-class slot caps it
+            // converts the departing op's slot into an ALU slot, so the
+            // swap must itself fit `cur`'s template.
+            if plan.needs_rename && !self.rename_copy_fits(cur, op) {
+                self.stats.resource_blocks += 1;
+                return Err(MoveFail::TrueDep { reader: op, writer: op });
+            }
             // Speculation policy (§1): a speculative hop may be vetoed when
             // slots are scarce.
             if plan.speculative {
-                let free = self
-                    .cfg
-                    .resources
-                    .fus
-                    .saturating_sub(self.g.node_op_count(parent));
+                let free = self.cfg.resources.free_slots(self.g, parent);
                 if !self.cfg.speculation.allows(free) {
                     self.stats.speculation_vetoes += 1;
                     return Err(MoveFail::SpeculativeStore);
@@ -474,6 +514,69 @@ impl<'g, 'a> Grip<'g, 'a> {
         }
         self.stats.hops += 1;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Latency hazards (machine model)
+    // ------------------------------------------------------------------
+
+    /// Would landing `op` in `row` place it closer to a multi-cycle
+    /// producer of one of its sources than that producer's latency?
+    ///
+    /// Upward motion only ever *shrinks* the distance to producers (they
+    /// sit above) and grows the distance to consumers, so checking the
+    /// producer side on every landing suppresses new hazards at the
+    /// moment of the move. The guard is best-effort, not an invariant:
+    /// hazards inherited from the sequential program survive, and a later
+    /// empty-row deletion between producer and consumer can re-shrink an
+    /// approved distance. Both residues are absorbed (and billed) by the
+    /// simulator's interlock stalls rather than miscomputed. The scan
+    /// walks at most `max_latency - 1` region rows above `row` per source
+    /// and stops at the nearest def (which shadows older ones), so the
+    /// unit-latency model pays nothing.
+    /// Would `cur` still fit its issue template after `op` is replaced by
+    /// a compensation copy? (Copies issue on the ALU class.)
+    fn rename_copy_fits(&self, cur: NodeId, op: OpId) -> bool {
+        let desc = self.cfg.resources.desc();
+        if !desc.has_class_caps() {
+            return true;
+        }
+        let copy_class = grip_machine::FuClass::of(grip_ir::OpKind::Copy);
+        if grip_machine::FuClass::of(self.g.op(op).kind) == copy_class {
+            return true;
+        }
+        grip_machine::MachineDesc::class_count(self.g, cur, copy_class)
+            < desc.class_slots[copy_class.index()]
+    }
+
+    fn latency_blocked(&self, row: NodeId, op: OpId) -> bool {
+        let lmax = self.cfg.resources.desc().max_latency() as usize;
+        if lmax <= 1 {
+            return false;
+        }
+        let Some(&ridx) = self.pos.get(&row) else { return false };
+        let mut unresolved: Vec<grip_ir::RegId> = self.g.op(op).reads().collect();
+        for d in 1..lmax {
+            if unresolved.is_empty() || d > ridx {
+                break;
+            }
+            let above = self.region[ridx - d];
+            if !self.g.node_exists(above) {
+                continue;
+            }
+            for (_, w) in self.g.node_ops(above) {
+                let wo = self.g.op(w);
+                let Some(dst) = wo.dest else { continue };
+                let before = unresolved.len();
+                unresolved.retain(|&r| r != dst);
+                if unresolved.len() != before
+                    && self.cfg.resources.desc().latency_of(wo.kind) as usize > d
+                {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     // ------------------------------------------------------------------
@@ -628,11 +731,10 @@ impl<'g, 'a> Grip<'g, 'a> {
             && n != self.g.entry
             && self.pos.contains_key(&n)
             && self.pos[&n] != 0
+            && try_delete_empty(self.g, self.ctx, n)
         {
-            if try_delete_empty(self.g, self.ctx, n) {
-                self.stats.nodes_deleted += 1;
-                self.remove_from_region(n);
-            }
+            self.stats.nodes_deleted += 1;
+            self.remove_from_region(n);
         }
     }
 
@@ -665,12 +767,14 @@ impl<'g, 'a> Grip<'g, 'a> {
         let mut i = from_idx;
         while i < self.region.len() {
             let n = self.region[i];
-            if self.g.node_exists(n) && self.g.node(n).tree.is_empty() && i != 0 {
-                if try_delete_empty(self.g, self.ctx, n) {
-                    self.stats.nodes_deleted += 1;
-                    self.remove_from_region(n);
-                    continue;
-                }
+            if self.g.node_exists(n)
+                && self.g.node(n).tree.is_empty()
+                && i != 0
+                && try_delete_empty(self.g, self.ctx, n)
+            {
+                self.stats.nodes_deleted += 1;
+                self.remove_from_region(n);
+                continue;
             }
             i += 1;
         }

@@ -24,5 +24,8 @@
 mod grip;
 mod resources;
 
-pub use grip::{schedule_region, Grip, GripConfig, ScheduleOutput, ScheduleStats, Speculation, TraceEvent};
+pub use grip::{
+    schedule_region, Grip, GripConfig, ScheduleOutput, ScheduleStats, Speculation, TraceEvent,
+};
+pub use grip_machine::{FuClass, LatencyTable, MachineDesc, MachineError, MachineModel, UNCAPPED};
 pub use resources::Resources;

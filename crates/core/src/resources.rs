@@ -1,49 +1,113 @@
-//! The machine resource model.
+//! The machine resource model: a thin adapter over [`MachineModel`].
 //!
-//! One VLIW instruction offers `fus` functional-unit slots for ordinary
-//! operations (copies included — §4 notes that renaming copies compete for
-//! resources, which is why redundant-op removal matters) and a budget of
-//! conditional jumps for the instruction's branch tree. The paper's IBM
-//! VLIW model has tree-based multiway branching, so the default jump budget
-//! is unlimited; it can be bounded for ablations.
+//! The seed modelled a machine as a flat `{fus, cjs}` pair — every
+//! operation costing one interchangeable slot for one cycle. [`Resources`]
+//! now wraps a [`MachineDesc`] (functional-unit classes, per-class slot
+//! caps, multi-cycle latencies, issue templates) and delegates every
+//! occupancy question to it, so `has_room`/`ops_full`/`exhausted` are
+//! class- and latency-aware while [`Resources::vliw`] keeps the paper's
+//! behaviour bit-for-bit (§4 still applies: renaming copies compete for
+//! slots, which is why redundant-op removal matters). The IBM VLIW model
+//! has tree-based multiway branching, so the default jump budget is
+//! unlimited; it can be bounded for ablations via
+//! [`Resources::with_limits`].
+//!
+//! All caps use `usize::MAX` as an "unlimited" sentinel; every comparison
+//! tests counts *against* the cap (never arithmetic on it), so the
+//! sentinel is overflow-free.
 
 use grip_ir::{Graph, NodeId, OpId};
+use grip_machine::{MachineDesc, MachineModel, UNCAPPED};
 
-/// Per-instruction resource limits.
+/// Per-instruction resource limits, as a machine description.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Resources {
-    /// Functional units: max ordinary operations per instruction.
-    pub fus: usize,
-    /// Max conditional jumps per instruction tree.
-    pub cjs: usize,
+    desc: MachineDesc,
 }
 
 impl Resources {
     /// No limits — pure Percolation Scheduling (POST's first phase).
-    pub const UNLIMITED: Resources = Resources { fus: usize::MAX, cjs: usize::MAX };
+    pub const UNLIMITED: Resources = Resources { desc: MachineDesc::UNLIMITED };
 
     /// The paper's machine: `fus` functional units, unbounded branch tree.
-    pub fn vliw(fus: usize) -> Resources {
-        Resources { fus, cjs: usize::MAX }
+    pub const fn vliw(fus: usize) -> Resources {
+        Resources { desc: MachineDesc::uniform(fus) }
+    }
+
+    /// A single-issue machine (`vliw(1)`): the sequential baseline.
+    pub const fn scalar() -> Resources {
+        Resources { desc: MachineDesc::scalar() }
+    }
+
+    /// A flat machine with a bounded branch tree (the `cjs` ablation).
+    pub const fn with_limits(fus: usize, cjs: usize) -> Resources {
+        let mut desc = MachineDesc::uniform(fus);
+        desc.cjs = cjs;
+        Resources { desc }
+    }
+
+    /// Schedule for an arbitrary machine description (presets or custom).
+    pub const fn machine(desc: MachineDesc) -> Resources {
+        Resources { desc }
+    }
+
+    /// The underlying machine description.
+    pub fn desc(&self) -> &MachineDesc {
+        &self.desc
+    }
+
+    /// Total ordinary-operation slots per instruction (the flat view).
+    pub fn fus(&self) -> usize {
+        self.desc.width
+    }
+
+    /// Conditional jumps per instruction tree.
+    pub fn cjs(&self) -> usize {
+        self.desc.cjs
+    }
+
+    /// True when the width is the unlimited sentinel.
+    pub fn is_unlimited_width(&self) -> bool {
+        self.desc.width == UNCAPPED
     }
 
     /// True when `node` can still accept `op`.
     pub fn has_room(&self, g: &Graph, node: NodeId, op: OpId) -> bool {
-        if g.op(op).kind.is_cj() {
-            g.node_cj_count(node) < self.cjs
-        } else {
-            g.node_op_count(node) < self.fus
-        }
+        self.desc.has_room(g, node, op)
     }
 
     /// True when `node` is saturated for ordinary operations.
     pub fn ops_full(&self, g: &Graph, node: NodeId) -> bool {
-        g.node_op_count(node) >= self.fus
+        self.desc.ops_full(g, node)
     }
 
     /// True when nothing further fits at all (ops and jumps).
     pub fn exhausted(&self, g: &Graph, node: NodeId) -> bool {
-        self.ops_full(g, node) && g.node_cj_count(node) >= self.cjs
+        self.desc.exhausted(g, node)
+    }
+
+    /// Free total-width slots in `node` (saturating; never overflows on
+    /// the unlimited sentinel).
+    pub fn free_slots(&self, g: &Graph, node: NodeId) -> usize {
+        self.desc.free_slots(g, node)
+    }
+}
+
+impl MachineModel for Resources {
+    fn desc(&self) -> &MachineDesc {
+        &self.desc
+    }
+}
+
+impl From<MachineDesc> for Resources {
+    fn from(desc: MachineDesc) -> Resources {
+        Resources { desc }
+    }
+}
+
+impl Default for Resources {
+    fn default() -> Resources {
+        Resources::UNLIMITED
     }
 }
 
@@ -71,9 +135,60 @@ mod tests {
         assert!(two.has_room(&g, n, o2));
         assert!(!Resources::vliw(1).has_room(&g, n, o2));
         assert!(two.has_room(&g, n, cj), "jump budget independent of FU slots");
-        assert!(!Resources { fus: 2, cjs: 0 }.has_room(&g, n, cj));
+        assert!(!Resources::with_limits(2, 0).has_room(&g, n, cj));
         assert!(Resources::UNLIMITED.has_room(&g, n, o2));
         assert!(Resources::vliw(1).ops_full(&g, n));
         assert!(!two.exhausted(&g, n));
+        assert_eq!(Resources::scalar().fus(), 1);
+    }
+
+    #[test]
+    fn unlimited_sentinels_are_overflow_free() {
+        // A node with ops and cjs present; every check against the MAX
+        // sentinel must neither overflow nor report saturation.
+        let mut g = Graph::new();
+        let c = g.fresh_reg();
+        let r = g.fresh_reg();
+        let op = g.add_op(Operation::new(OpKind::Copy, Some(r), vec![Operand::Imm(Value::I(1))]));
+        let cj = g.add_op(Operation::new(OpKind::CondJump, None, vec![Operand::Reg(c)]));
+        let n = g.add_node(Tree::Branch {
+            ops: vec![op],
+            cj,
+            on_true: Box::new(Tree::leaf(None)),
+            on_false: Box::new(Tree::leaf(None)),
+        });
+        let u = Resources::UNLIMITED;
+        assert!(!u.ops_full(&g, n));
+        assert!(!u.exhausted(&g, n));
+        assert_eq!(u.free_slots(&g, n), usize::MAX - 1);
+        // cjs == MAX with a populated tree: comparison, not subtraction.
+        let v = Resources::vliw(1);
+        assert!(v.ops_full(&g, n), "width 1 is taken");
+        assert!(!v.exhausted(&g, n), "cj budget MAX can never exhaust");
+        assert!(v.has_room(&g, n, cj));
+        // Bounded-cj machine saturates both sides.
+        let b = Resources::with_limits(1, 1);
+        assert!(b.exhausted(&g, n));
+    }
+
+    #[test]
+    fn class_caps_flow_through_the_adapter() {
+        let mut g = Graph::new();
+        let x = g.array("x", 4);
+        let (r1, r2, r3) = (g.fresh_reg(), g.fresh_reg(), g.fresh_reg());
+        let ld1 =
+            g.add_op(Operation::new(OpKind::Load(x), Some(r1), vec![Operand::Imm(Value::I(0))]));
+        let n = g.add_node(Tree::Leaf { ops: vec![ld1], succ: None });
+        let ld2 =
+            g.add_op(Operation::new(OpKind::Load(x), Some(r2), vec![Operand::Imm(Value::I(1))]));
+        let add = g.add_op(Operation::new(
+            OpKind::IAdd,
+            Some(r3),
+            vec![Operand::Imm(Value::I(1)), Operand::Imm(Value::I(2))],
+        ));
+        let m = Resources::machine(MachineDesc::mem_bound());
+        assert!(!m.has_room(&g, n, ld2), "one memory port");
+        assert!(m.has_room(&g, n, add), "ALU slots open");
+        assert_eq!(m.fus(), 8);
     }
 }

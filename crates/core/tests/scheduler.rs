@@ -13,11 +13,7 @@ fn run_equal(g0: &Graph, g1: &Graph) {
     m0.run(g0).unwrap();
     m1.run(g1).unwrap();
     let rep = EquivReport::compare(g0, &m0, &m1);
-    assert!(
-        rep.is_equal(),
-        "schedule changed semantics: {rep:?}\n{}",
-        grip_ir::print::dump(g1)
-    );
+    assert!(rep.is_equal(), "schedule changed semantics: {rep:?}\n{}", grip_ir::print::dump(g1));
 }
 
 /// n independent constants followed by a chain of adds.
@@ -72,10 +68,7 @@ fn packs_independent_ops_to_width() {
         }
         // Compaction happened: the sequential program had 17 op rows.
         let op_rows = g.reachable().into_iter().filter(|&n| g.node_op_count(n) > 0).count();
-        assert!(
-            op_rows < 17,
-            "expected compaction below the 17 sequential rows, got {op_rows}"
-        );
+        assert!(op_rows < 17, "expected compaction below the 17 sequential rows, got {op_rows}");
         // The adds form a chain; after the entry row folds s0 through the
         // constant copies, at least 7 chain rows remain.
         assert!(op_rows >= 7, "chain must lower-bound the schedule: {op_rows}");
@@ -89,7 +82,12 @@ fn respects_dependence_chains() {
     let mut acc = b.named_reg("a0");
     b.const_i(acc, 1);
     for i in 0..6 {
-        acc = b.binary(&format!("a{}", i + 1), OpKind::IAdd, Operand::Reg(acc), Operand::Imm(Value::I(1)));
+        acc = b.binary(
+            &format!("a{}", i + 1),
+            OpKind::IAdd,
+            Operand::Reg(acc),
+            Operand::Imm(Value::I(1)),
+        );
     }
     b.live_out(acc);
     let g0 = b.finish();
@@ -112,12 +110,8 @@ fn infinite_resources_compact_maximally() {
     run_equal(&g0, &g);
     // Row 1 takes every constant plus s0 (folded through the copies);
     // s1..s5 chain below: 6 op rows total.
-    let rows: Vec<usize> = g
-        .reachable()
-        .into_iter()
-        .map(|n| g.node_op_count(n))
-        .filter(|&c| c > 0)
-        .collect();
+    let rows: Vec<usize> =
+        g.reachable().into_iter().map(|n| g.node_op_count(n)).filter(|&c| c > 0).collect();
     assert_eq!(rows.len(), 6, "1 wide row + 5 chain rows: {rows:?}");
     assert!(rows[0] >= 5, "first row holds the surviving consts + s0: {rows:?}");
 }
@@ -207,16 +201,9 @@ fn ranked_order_prefers_long_chains_for_scarce_slots() {
     schedule(&mut g, 2, false);
     g.validate().unwrap();
     run_equal(&g0, &g);
-    let first = g
-        .reachable()
-        .into_iter()
-        .find(|&n| g.node_op_count(n) > 0)
-        .unwrap();
-    let labels: Vec<String> = g
-        .node_ops(first)
-        .iter()
-        .map(|&(_, o)| g.op(o).label().to_string())
-        .collect();
+    let first = g.reachable().into_iter().find(|&n| g.node_op_count(n) > 0).unwrap();
+    let labels: Vec<String> =
+        g.node_ops(first).iter().map(|&(_, o)| g.op(o).label().to_string()).collect();
     assert!(
         labels.contains(&"l1".to_string()),
         "long-chain op must win the slot; row was {labels:?}"
@@ -310,14 +297,8 @@ fn trace_records_moves() {
     };
     let region = g.reachable();
     let out = schedule_region(&mut g, &mut ctx, &ranks, cfg, region);
-    assert!(out
-        .trace
-        .iter()
-        .any(|e| matches!(e, grip_core::TraceEvent::Hop { .. })));
-    assert!(out
-        .trace
-        .iter()
-        .any(|e| matches!(e, grip_core::TraceEvent::Node(_))));
+    assert!(out.trace.iter().any(|e| matches!(e, grip_core::TraceEvent::Hop { .. })));
+    assert!(out.trace.iter().any(|e| matches!(e, grip_core::TraceEvent::Node(_))));
 }
 
 #[test]
@@ -358,11 +339,8 @@ fn speculation_policy_gates_motion_past_branches() {
         let out = schedule_region(&mut g, &mut ctx, &ranks, cfg, w.rows.clone());
         g.validate().unwrap();
         run_equal(&g0, &g);
-        let rows = out
-            .region
-            .iter()
-            .filter(|&&n| g.node_exists(n) && g.node_op_count(n) > 0)
-            .count();
+        let rows =
+            out.region.iter().filter(|&&n| g.node_exists(n) && g.node_op_count(n) > 0).count();
         if policy == Speculation::Never {
             assert!(out.stats.speculation_vetoes > 0, "vetoes must fire");
         }

@@ -224,10 +224,7 @@ impl Graph {
 
     /// Ids of all live nodes.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|_| NodeId::new(i)))
+        self.nodes.iter().enumerate().filter_map(|(i, n)| n.as_ref().map(|_| NodeId::new(i)))
     }
 
     /// Number of live nodes.
@@ -338,10 +335,9 @@ impl Graph {
     pub fn clone_node(&mut self, n: NodeId) -> NodeId {
         fn clone_tree(g: &mut Graph, t: &Tree) -> Tree {
             match t {
-                Tree::Leaf { ops, succ } => Tree::Leaf {
-                    ops: ops.iter().map(|&o| g.dup_op(o)).collect(),
-                    succ: *succ,
-                },
+                Tree::Leaf { ops, succ } => {
+                    Tree::Leaf { ops: ops.iter().map(|&o| g.dup_op(o)).collect(), succ: *succ }
+                }
                 Tree::Branch { ops, cj, on_true, on_false } => {
                     let ops = ops.iter().map(|&o| g.dup_op(o)).collect();
                     let cj = g.dup_op(*cj);
@@ -521,7 +517,8 @@ impl Graph {
                     for &o in t.ops() {
                         if let Some(d) = self.op(o).dest {
                             if written.contains(&d) {
-                                dup = Some(format!("{n}: register {d} written twice on path {leaf}"));
+                                dup =
+                                    Some(format!("{n}: register {d} written twice on path {leaf}"));
                             }
                             written.push(d);
                         }

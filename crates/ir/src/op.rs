@@ -180,15 +180,13 @@ impl OpKind {
                 };
                 let r = match self {
                     CmpLt => ord == Some(std::cmp::Ordering::Less),
-                    CmpLe => matches!(
-                        ord,
-                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
-                    ),
+                    CmpLe => {
+                        matches!(ord, Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal))
+                    }
                     CmpGt => ord == Some(std::cmp::Ordering::Greater),
-                    CmpGe => matches!(
-                        ord,
-                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
-                    ),
+                    CmpGe => {
+                        matches!(ord, Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal))
+                    }
                     CmpEq => ord == Some(std::cmp::Ordering::Equal),
                     CmpNe => ord != Some(std::cmp::Ordering::Equal),
                     _ => unreachable!(),
@@ -267,7 +265,15 @@ impl Operation {
     pub fn new(kind: OpKind, dest: Option<RegId>, src: Vec<Operand>) -> Self {
         debug_assert_eq!(src.len(), kind.arity(), "bad arity for {kind:?}");
         debug_assert_eq!(dest.is_some(), kind.has_dest(), "bad dest for {kind:?}");
-        Operation { kind, dest, src, disp: 0, iter: 0, orig: OpId::new(u32::MAX as usize), name: None }
+        Operation {
+            kind,
+            dest,
+            src,
+            disp: 0,
+            iter: 0,
+            orig: OpId::new(u32::MAX as usize),
+            name: None,
+        }
     }
 
     /// All registers read by this operation.

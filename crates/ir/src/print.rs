@@ -99,13 +99,8 @@ pub fn tableau(g: &Graph, nodes: &[NodeId], iters: usize) -> Vec<TableauRow> {
 
 /// Format a tableau as fixed-width text.
 pub fn render_tableau(rows: &[TableauRow], iters: usize) -> String {
-    let width = rows
-        .iter()
-        .flat_map(|r| r.cells.iter().map(|c| c.len()))
-        .max()
-        .unwrap_or(1)
-        .max(4)
-        + 1;
+    let width =
+        rows.iter().flat_map(|r| r.cells.iter().map(|c| c.len())).max().unwrap_or(1).max(4) + 1;
     let mut out = String::new();
     let _ = write!(out, "{:>6} |", "node");
     for i in 0..iters {

@@ -206,10 +206,7 @@ impl Tree {
 
     /// Leaf positions whose successor is `target`.
     pub fn leaf_paths_to(&self, target: NodeId) -> Vec<TreePath> {
-        self.leaves()
-            .into_iter()
-            .filter_map(|(p, s)| (s == Some(target)).then_some(p))
-            .collect()
+        self.leaves().into_iter().filter_map(|(p, s)| (s == Some(target)).then_some(p)).collect()
     }
 
     /// Successor instructions (with duplicates if several leaves share one).
@@ -247,10 +244,7 @@ impl Tree {
 
     /// Attach `op` at position `path` (leaf or branch node).
     pub fn insert_op(&mut self, path: TreePath, op: OpId) {
-        self.get_mut(path)
-            .expect("insert_op: position must exist")
-            .ops_mut()
-            .push(op);
+        self.get_mut(path).expect("insert_op: position must exist").ops_mut().push(op);
     }
 
     /// Replace the leaf at `path` by a branch on `cj` whose sides are fresh
@@ -406,10 +400,7 @@ mod tests {
         // old leaf ops now at the branch position => commit on both sides
         assert_eq!(t.get(p).unwrap().ops(), &[op(2)]);
         assert_eq!(t.cj_count(), 2);
-        assert_eq!(
-            t.successors(),
-            vec![NodeId::new(7), NodeId::new(8), NodeId::new(2)]
-        );
+        assert_eq!(t.successors(), vec![NodeId::new(7), NodeId::new(8), NodeId::new(2)]);
     }
 
     #[test]

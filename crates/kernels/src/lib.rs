@@ -89,9 +89,7 @@ pub fn validate(k: &Kernel, n: i64) -> Result<grip_vm::RunStats, String> {
     g.validate().map_err(|e| format!("{}: invalid graph: {e}", k.name))?;
     let mut m = Machine::for_graph(&g);
     (k.init)(&g, &mut m, n);
-    let stats = m
-        .run(&g)
-        .map_err(|e| format!("{}: execution failed: {e}", k.name))?;
+    let stats = m.run(&g).map_err(|e| format!("{}: execution failed: {e}", k.name))?;
     let expect = (k.reference)(n);
     if expect.len() != g.arrays().len() {
         return Err(format!("{}: reference array count mismatch", k.name));

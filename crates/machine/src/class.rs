@@ -1,0 +1,162 @@
+//! Functional-unit classes and per-class operation latencies.
+
+use grip_ir::OpKind;
+
+/// The functional-unit class an operation issues on.
+///
+/// The paper's machine has `fus` interchangeable units; real VLIW/EPIC
+/// targets partition them — integer ALUs, floating-point pipes, memory
+/// ports, and the branch unit of the instruction tree. Every [`OpKind`]
+/// maps to exactly one class via [`FuClass::of`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuClass {
+    /// Integer/boolean ALU: index math, compares, logic, register copies.
+    Alu,
+    /// Floating-point unit: `f64` arithmetic.
+    Fpu,
+    /// Memory port: loads and stores.
+    Mem,
+    /// Branch unit: conditional jumps of the instruction tree.
+    Branch,
+}
+
+impl FuClass {
+    /// Number of classes (array-table dimension).
+    pub const COUNT: usize = 4;
+
+    /// All classes, in table order.
+    pub const ALL: [FuClass; FuClass::COUNT] =
+        [FuClass::Alu, FuClass::Fpu, FuClass::Mem, FuClass::Branch];
+
+    /// The class `kind` issues on.
+    pub fn of(kind: OpKind) -> FuClass {
+        use OpKind::*;
+        match kind {
+            Add | Sub | Mul | Div | Min | Max | Neg | Abs | Sqrt => FuClass::Fpu,
+            IAdd | ISub | IMul | CmpLt | CmpLe | CmpGt | CmpGe | CmpEq | CmpNe | And | Or | Not
+            | Copy => FuClass::Alu,
+            Load(_) | Store(_) => FuClass::Mem,
+            CondJump => FuClass::Branch,
+        }
+    }
+
+    /// Table index of this class.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuClass::Alu => "ALU",
+            FuClass::Fpu => "FPU",
+            FuClass::Mem => "MEM",
+            FuClass::Branch => "BR",
+        }
+    }
+}
+
+/// Per-class operation latencies, in cycles from issue to result
+/// availability. Latency 1 is the paper's single-cycle model: the result
+/// commits at the end of the issuing instruction.
+///
+/// Divides and square roots get their own entry (`fpu_long`) because they
+/// dominate the critical path on every machine that does not fully
+/// pipeline them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LatencyTable {
+    /// Integer/boolean/copy operations.
+    pub alu: u32,
+    /// Pipelined `f64` add/sub/mul/min/max/neg/abs.
+    pub fpu: u32,
+    /// Long-latency `f64` div/sqrt.
+    pub fpu_long: u32,
+    /// Loads and stores (store latency bounds forwarding distance).
+    pub mem: u32,
+    /// Conditional jumps (resolution of the instruction tree).
+    pub branch: u32,
+}
+
+impl LatencyTable {
+    /// The paper's model: every operation completes in one cycle.
+    pub const UNIT: LatencyTable = LatencyTable { alu: 1, fpu: 1, fpu_long: 1, mem: 1, branch: 1 };
+
+    /// Latency of `kind` under this table.
+    pub fn of(&self, kind: OpKind) -> u32 {
+        use OpKind::*;
+        match kind {
+            Div | Sqrt => self.fpu_long,
+            _ => match FuClass::of(kind) {
+                FuClass::Alu => self.alu,
+                FuClass::Fpu => self.fpu,
+                FuClass::Mem => self.mem,
+                FuClass::Branch => self.branch,
+            },
+        }
+    }
+
+    /// The largest latency in the table — the hazard-scan window depth.
+    pub fn max(&self) -> u32 {
+        self.alu.max(self.fpu).max(self.fpu_long).max(self.mem).max(self.branch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grip_ir::ArrayId;
+
+    #[test]
+    fn every_kind_has_a_class() {
+        use OpKind::*;
+        let a = ArrayId::new(0);
+        for kind in [
+            Add,
+            Sub,
+            Mul,
+            Div,
+            Min,
+            Max,
+            Neg,
+            Abs,
+            Sqrt,
+            IAdd,
+            ISub,
+            IMul,
+            CmpLt,
+            CmpLe,
+            CmpGt,
+            CmpGe,
+            CmpEq,
+            CmpNe,
+            And,
+            Or,
+            Not,
+            Copy,
+            Load(a),
+            Store(a),
+            CondJump,
+        ] {
+            let c = FuClass::of(kind);
+            assert!(c.index() < FuClass::COUNT);
+            assert_eq!(FuClass::ALL[c.index()], c);
+        }
+        assert_eq!(FuClass::of(IAdd), FuClass::Alu);
+        assert_eq!(FuClass::of(Mul), FuClass::Fpu);
+        assert_eq!(FuClass::of(Load(a)), FuClass::Mem);
+        assert_eq!(FuClass::of(CondJump), FuClass::Branch);
+    }
+
+    #[test]
+    fn latency_lookup_distinguishes_long_ops() {
+        let t = LatencyTable { alu: 1, fpu: 3, fpu_long: 12, mem: 2, branch: 1 };
+        assert_eq!(t.of(OpKind::IAdd), 1);
+        assert_eq!(t.of(OpKind::Add), 3);
+        assert_eq!(t.of(OpKind::Div), 12);
+        assert_eq!(t.of(OpKind::Sqrt), 12);
+        assert_eq!(t.of(OpKind::Load(ArrayId::new(0))), 2);
+        assert_eq!(t.max(), 12);
+        assert_eq!(LatencyTable::UNIT.max(), 1);
+    }
+}

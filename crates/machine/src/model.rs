@@ -1,0 +1,52 @@
+//! The behavioural interface schedulers program against.
+
+use crate::desc::MachineDesc;
+use grip_ir::{Graph, NodeId, OpId, OpKind};
+
+/// Anything that can answer a scheduler's resource questions.
+///
+/// The trait is implemented by [`MachineDesc`] itself and by adapter types
+/// (such as `grip_core::Resources`) that wrap a description. All methods
+/// are provided in terms of [`MachineModel::desc`], so an adapter only
+/// supplies the description and inherits class- and latency-aware
+/// behaviour.
+pub trait MachineModel {
+    /// The underlying machine description.
+    fn desc(&self) -> &MachineDesc;
+
+    /// True when `node` can still accept `op`.
+    fn has_room(&self, g: &Graph, node: NodeId, op: OpId) -> bool {
+        self.desc().has_room(g, node, op)
+    }
+
+    /// True when `node` is saturated for ordinary operations.
+    fn ops_full(&self, g: &Graph, node: NodeId) -> bool {
+        self.desc().ops_full(g, node)
+    }
+
+    /// True when nothing further fits at all (ops and jumps).
+    fn exhausted(&self, g: &Graph, node: NodeId) -> bool {
+        self.desc().exhausted(g, node)
+    }
+
+    /// Free total-width slots in `node`.
+    fn free_slots(&self, g: &Graph, node: NodeId) -> usize {
+        self.desc().free_slots(g, node)
+    }
+
+    /// Issue-to-result latency of `kind`.
+    fn latency_of(&self, kind: OpKind) -> u32 {
+        self.desc().latency_of(kind)
+    }
+
+    /// Deepest latency in the model (hazard-scan window).
+    fn max_latency(&self) -> u32 {
+        self.desc().max_latency()
+    }
+}
+
+impl MachineModel for MachineDesc {
+    fn desc(&self) -> &MachineDesc {
+        self
+    }
+}

@@ -240,8 +240,11 @@ mod tests {
         let nodes: Vec<_> = g.reachable();
         let before = g.reachable().len();
         assert_eq!(eliminate_dead_ops(&mut g, &mut ctx, &nodes), 1);
-        let empties: Vec<_> =
-            g.reachable().into_iter().filter(|&n| g.node(n).tree.is_empty() && n != g.entry).collect();
+        let empties: Vec<_> = g
+            .reachable()
+            .into_iter()
+            .filter(|&n| g.node(n).tree.is_empty() && n != g.entry)
+            .collect();
         for n in empties {
             assert!(try_delete_empty(&mut g, &mut ctx, n));
         }

@@ -76,11 +76,7 @@ pub fn apply_move_cj(
     let entry_edges: usize = ctx
         .preds
         .get(&from)
-        .map(|ps| {
-            ps.iter()
-                .map(|&p| g.node(p).tree.leaf_paths_to(from).len())
-                .sum()
-        })
+        .map(|ps| ps.iter().map(|&p| g.node(p).tree.leaf_paths_to(from).len()).sum())
         .unwrap_or(0);
     if entry_edges > 1 {
         let from_b = g.clone_node(from);

@@ -130,15 +130,15 @@ pub fn plan_move_op(
     // "copy operations ... do not prevent code motion").
     let mut srcs = opref.src.clone();
     let mut rewrites = Vec::new();
-    for i in 0..srcs.len() {
+    for (i, slot) in srcs.iter_mut().enumerate() {
         let mut fuel = 8;
-        while let Some(r) = srcs[i].reg() {
+        while let Some(r) = slot.reg() {
             let writer = path_ops.iter().copied().find(|&p| g.op(p).dest == Some(r));
             let Some(p) = writer else { break };
             let pk = g.op(p);
             if pk.kind == OpKind::Copy && fuel > 0 {
-                srcs[i] = pk.src[0];
-                rewrites.push((i, srcs[i]));
+                *slot = pk.src[0];
+                rewrites.push((i, *slot));
                 fuel -= 1;
             } else {
                 return Err(MoveFail::TrueDep { reader: op, writer: p });
@@ -156,11 +156,7 @@ pub fn plan_move_op(
         // Move-past-read: another op of `from` reads d at entry; it would
         // observe the new value once op commits one instruction earlier.
         if !needs_rename
-            && g.node(from)
-                .tree
-                .placed_ops()
-                .iter()
-                .any(|&(_, o)| o != op && g.op(o).reads_reg(d))
+            && g.node(from).tree.placed_ops().iter().any(|&(_, o)| o != op && g.op(o).reads_reg(d))
         {
             needs_rename = true;
         }
@@ -176,7 +172,14 @@ pub fn plan_move_op(
 /// Is `d` live along some path of `from` that does *not* pass the op's
 /// guard position `q`? Those are the executions that newly commit the
 /// speculatively moved op.
-fn spec_write_live(g: &Graph, ctx: &Ctx<'_>, from: NodeId, op: OpId, q: TreePath, d: RegId) -> bool {
+fn spec_write_live(
+    g: &Graph,
+    ctx: &Ctx<'_>,
+    from: NodeId,
+    op: OpId,
+    q: TreePath,
+    d: RegId,
+) -> bool {
     let tree = &g.node(from).tree;
     for (leaf, succ) in tree.leaves() {
         if q.is_prefix_of(leaf) {
@@ -225,11 +228,7 @@ pub fn apply_move_op(
     let entry_edges: usize = ctx
         .preds
         .get(&from)
-        .map(|ps| {
-            ps.iter()
-                .map(|&p| g.node(p).tree.leaf_paths_to(from).len())
-                .sum()
-        })
+        .map(|ps| ps.iter().map(|&p| g.node(p).tree.leaf_paths_to(from).len()).sum())
         .unwrap_or(0);
     if entry_edges > 1 {
         let from_b = g.clone_node(from);

@@ -147,8 +147,7 @@ fn same_instruction_read_in_target_needs_no_rename() {
         Some(r),
         vec![Operand::Reg(d), Operand::Imm(Value::I(1))],
     ));
-    let write_op =
-        g.add_op(Operation::new(OpKind::Copy, Some(d), vec![Operand::Imm(Value::I(9))]));
+    let write_op = g.add_op(Operation::new(OpKind::Copy, Some(d), vec![Operand::Imm(Value::I(9))]));
     let nb = g.add_node(Tree::Leaf { ops: vec![write_op], succ: None });
     let na = g.add_node(Tree::Leaf { ops: vec![read_op], succ: Some(nb) });
     g.set_succ(g.entry, TreePath::ROOT, Some(na));
@@ -183,8 +182,7 @@ fn move_past_read_renames() {
         Some(r),
         vec![Operand::Reg(d), Operand::Imm(Value::I(1))],
     ));
-    let write_op =
-        g.add_op(Operation::new(OpKind::Copy, Some(d), vec![Operand::Imm(Value::I(9))]));
+    let write_op = g.add_op(Operation::new(OpKind::Copy, Some(d), vec![Operand::Imm(Value::I(9))]));
     let nb = g.add_node(Tree::Leaf { ops: vec![read_op, write_op], succ: None });
     let na = g.add_node(Tree::leaf(Some(nb)));
     g.set_succ(g.entry, TreePath::ROOT, Some(na));

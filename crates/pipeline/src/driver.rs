@@ -8,6 +8,7 @@ use crate::unwind::{unwind, Window};
 use grip_analysis::{Ddg, RankTable};
 use grip_core::{schedule_region, GripConfig, Resources, ScheduleStats};
 use grip_ir::{Graph, NodeId};
+use grip_machine::{FuClass, UNCAPPED};
 use grip_percolate::Ctx;
 
 /// Options for [`perfect_pipeline`].
@@ -108,15 +109,21 @@ pub fn perfect_pipeline(g: &mut Graph, opts: PipelineOptions) -> PipelineReport 
     let steady = steady_rows(g, &region, window.head);
     let pattern = detect(g, &window, &steady);
     let cpi_estimate = estimate_cpi(g, &window, &steady).map(|c| {
-        fu_lower_bound(g, &window, &steady, opts.resources.fus)
-            .map_or(c, |b| c.max(b))
+        fu_lower_bound(g, &window, &steady, opts.resources.desc()).map_or(c, |b| c.max(b))
     });
     let rolled = match (opts.try_roll, pattern) {
         (true, Some(pat)) => {
             // The earliest pattern occurrence may still read fill-defined
             // values whose periodic counterparts only settle a period
             // later; retry one period in.
-            let fus = if opts.resources.fus == usize::MAX { 0 } else { opts.resources.fus };
+            //
+            // Rotation rows are pure register copies, which issue on the
+            // ALU class: their packing budget is the tighter of the total
+            // width and the ALU slot cap, or unlimited (0) when neither
+            // binds.
+            let desc = opts.resources.desc();
+            let budget = desc.width.min(desc.class_slots[FuClass::Alu.index()]);
+            let fus = if budget == UNCAPPED { 0 } else { budget };
             let mut attempt = roll(g, &window, &steady, &pat, fus);
             if attempt.is_err() {
                 let shifted = Pattern { start: pat.start + pat.period_rows, ..pat };

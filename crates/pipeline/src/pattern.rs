@@ -9,6 +9,7 @@
 
 use crate::unwind::Window;
 use grip_ir::{Graph, NodeId, OpId, OpKind};
+use grip_machine::{FuClass, MachineDesc, UNCAPPED};
 
 /// A detected repeating pattern.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,11 +32,8 @@ pub fn steady_rows(g: &Graph, region: &[NodeId], head: NodeId) -> Vec<NodeId> {
     let pos: std::collections::HashMap<NodeId, usize> =
         live.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     // Carrier nodes: hold an edge back to the window head.
-    let carriers: Vec<NodeId> = live
-        .iter()
-        .copied()
-        .filter(|&n| g.successors(n).contains(&head))
-        .collect();
+    let carriers: Vec<NodeId> =
+        live.iter().copied().filter(|&n| g.successors(n).contains(&head)).collect();
     if carriers.is_empty() {
         return live;
     }
@@ -179,23 +177,40 @@ pub fn estimate_cpi(g: &Graph, w: &Window, rows: &[NodeId]) -> Option<f64> {
 
 /// Physical lower bound on steady-state CPI: the functional-unit ops of a
 /// middle iteration that survived into the steady rows cannot issue in
-/// fewer than `ops/fus` instructions. Slope estimates below this bound
-/// measured the window's fill region, not its throughput.
-pub fn fu_lower_bound(g: &Graph, w: &Window, rows: &[NodeId], fus: usize) -> Option<f64> {
-    if fus == 0 || fus == usize::MAX || w.iterations < 3 {
+/// fewer than `ops/width` instructions — and, per class, in fewer than
+/// `class ops / class slots` (a single memory port bounds a streaming
+/// loop no matter how wide the machine is). Slope estimates below this
+/// bound measured the window's fill region, not its throughput.
+pub fn fu_lower_bound(g: &Graph, w: &Window, rows: &[NodeId], desc: &MachineDesc) -> Option<f64> {
+    if desc.width == 0 || desc.is_unbounded() || w.iterations < 3 {
         return None;
     }
     let mid = w.iterations / 2;
     let mut ops = 0usize;
+    let mut by_class = [0usize; FuClass::COUNT];
     for &n in rows {
         for (_, op) in g.node_ops(n) {
             let o = g.op(op);
             if o.iter == mid && !o.kind.is_cj() {
                 ops += 1;
+                by_class[FuClass::of(o.kind).index()] += 1;
             }
         }
     }
-    (ops > 0).then_some(ops as f64 / fus as f64)
+    if ops == 0 {
+        return None;
+    }
+    let mut bound: f64 = 0.0;
+    if desc.width != UNCAPPED {
+        bound = ops as f64 / desc.width as f64;
+    }
+    for c in &FuClass::ALL[..3] {
+        let slots = desc.class_slots[c.index()];
+        if slots != UNCAPPED && slots > 0 {
+            bound = bound.max(by_class[c.index()] as f64 / slots as f64);
+        }
+    }
+    (bound > 0.0).then_some(bound)
 }
 
 #[cfg(test)]

@@ -172,9 +172,8 @@ impl<'a> RollCtx<'a> {
         let row = self.rows[self.s + q * self.p + j];
         let tree = &self.g.node(row).tree;
         let pos = tree.position_of(inst).ok_or(RollError::Malformed("cj not in its row"))?;
-        let exit = tree
-            .get(pos.child(false))
-            .ok_or(RollError::Malformed("cj without false side"))?;
+        let exit =
+            tree.get(pos.child(false)).ok_or(RollError::Malformed("cj without false side"))?;
         let Tree::Leaf { ops, succ } = exit else {
             return Err(RollError::Malformed("exit side is not a leaf"));
         };
@@ -275,8 +274,7 @@ pub fn roll(
     };
 
     // --- Body-op correspondence. -----------------------------------------
-    let items: Vec<((usize, Ident), OpId)> =
-        rc.periods[0].iter().map(|(&k, &v)| (k, v)).collect();
+    let items: Vec<((usize, Ident), OpId)> = rc.periods[0].iter().map(|(&k, &v)| (k, v)).collect();
     for &((j, id), op) in &items {
         let cp = rc.periods[1].get(&(j, id)).copied().expect("checked above");
         let (o, c) = (rc.g.op(op), rc.g.op(cp));

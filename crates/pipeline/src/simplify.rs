@@ -56,7 +56,9 @@ pub fn simplify_inductions(g: &mut Graph, rows: &[NodeId]) -> usize {
                 OpKind::Load(_) | OpKind::Store(_) => {
                     if let Operand::Reg(s) = op.src[0] {
                         match affine.resolve_addr(Operand::Reg(s), op.disp) {
-                            Some(AffineAddr { base: Some(b), offset }) if b != s || offset != op.disp => {
+                            Some(AffineAddr { base: Some(b), offset })
+                                if b != s || offset != op.disp =>
+                            {
                                 let op = g.op_mut(id);
                                 op.src[0] = Operand::Reg(b);
                                 op.disp = offset;

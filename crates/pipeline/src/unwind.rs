@@ -87,13 +87,9 @@ pub fn unwind(g: &mut Graph, u: usize) -> Window {
     // Registers needing exit fix-ups: defined in the body AND live at the
     // loop exit.
     let lv = Liveness::compute(g);
-    let body_defs: Vec<RegId> =
-        body.iter().filter_map(|&(_, op)| g.op(op).dest).collect();
-    let fixup_regs: Vec<RegId> = body_defs
-        .iter()
-        .copied()
-        .filter(|&r| lv.is_live_in(li.exit, r))
-        .collect();
+    let body_defs: Vec<RegId> = body.iter().filter_map(|&(_, op)| g.op(op).dest).collect();
+    let fixup_regs: Vec<RegId> =
+        body_defs.iter().copied().filter(|&r| lv.is_live_in(li.exit, r)).collect();
 
     // Emit u copies.
     let mut rows: Vec<NodeId> = Vec::new();
@@ -316,16 +312,14 @@ mod tests {
         // k's final update in the window writes the original k.
         let k = g0.live_out[0];
         let last_iter_rows = &w.rows[3 * w.body_len..];
-        let writes_k = last_iter_rows.iter().any(|&n| {
-            g.node_ops(n).iter().any(|&(_, o)| g.op(o).dest == Some(k))
-        });
+        let writes_k = last_iter_rows
+            .iter()
+            .any(|&n| g.node_ops(n).iter().any(|&(_, o)| g.op(o).dest == Some(k)));
         assert!(writes_k, "last copy must write canonical k");
         // Early iterations write renamed registers only.
         let early = &w.rows[..w.body_len];
         assert!(
-            early.iter().all(|&n| {
-                g.node_ops(n).iter().all(|&(_, o)| g.op(o).dest != Some(k))
-            }),
+            early.iter().all(|&n| { g.node_ops(n).iter().all(|&(_, o)| g.op(o).dest != Some(k)) }),
             "iteration 0 must not clobber canonical k"
         );
     }

@@ -58,10 +58,8 @@ fn rolled_loop_is_observationally_identical() {
         let rep = perfect_pipeline(&mut g, opts);
         let pat = rep.pattern.expect("slope-1 pattern must converge");
         assert_eq!(pat.period_iters, 1);
-        let rolled = rep
-            .rolled
-            .expect("roll requested")
-            .unwrap_or_else(|e| panic!("roll failed: {e}"));
+        let rolled =
+            rep.rolled.expect("roll requested").unwrap_or_else(|e| panic!("roll failed: {e}"));
         assert!(rolled.rotation_copies > 0, "LCD chains need rotation");
         g.validate().unwrap();
 

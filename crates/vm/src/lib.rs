@@ -15,6 +15,12 @@
 //! transformation is validated by running the program before and after and
 //! comparing observable state (all memory plus `live_out` registers).
 //!
+//! [`Machine::run_model`] replays the same semantics under a
+//! [`grip_machine::MachineDesc`]: instruction issue interlocks on
+//! in-flight multi-cycle results (counted as stall cycles) and every
+//! executed instruction is checked against the issue template, so a
+//! schedule is validated against the same machine model it was built for.
+//!
 //! Speculatively hoisted loads may execute with out-of-range addresses (the
 //! original program would have exited the loop before using their result);
 //! such loads yield the array's typed default value instead of faulting
@@ -27,7 +33,7 @@
 
 mod machine;
 
-pub use machine::{EquivReport, ExecError, Machine, RunStats};
+pub use machine::{EquivReport, ExecError, Machine, ModelRunStats, RunStats};
 
 /// Default cycle budget for a run; generous for every workload in this
 /// repository while still catching non-terminating schedules.

@@ -1,6 +1,7 @@
 //! Machine state and the execution loop.
 
 use grip_ir::{ArrayId, Graph, NodeId, OpId, OpKind, Operand, RegId, Tree, Value};
+use grip_machine::MachineDesc;
 use std::fmt;
 
 /// Why an execution stopped abnormally.
@@ -105,11 +106,7 @@ impl Machine {
     pub fn for_graph(g: &Graph) -> Machine {
         Machine {
             regs: vec![None; g.reg_count()],
-            arrays: g
-                .arrays()
-                .iter()
-                .map(|a| vec![a.elem.default_value(); a.len])
-                .collect(),
+            arrays: g.arrays().iter().map(|a| vec![a.elem.default_value(); a.len]).collect(),
         }
     }
 
@@ -309,9 +306,11 @@ impl Machine {
                 for (i, &s) in op.src.iter().enumerate() {
                     srcs[i] = self.fetch(node, id, s)?;
                 }
-                let v = kind
-                    .eval(&srcs[..op.src.len()])
-                    .map_err(|err| ExecError::Type { node, op: id, err })?;
+                let v = kind.eval(&srcs[..op.src.len()]).map_err(|err| ExecError::Type {
+                    node,
+                    op: id,
+                    err,
+                })?;
                 reg_writes.push((op.dest.expect("pure op has dest"), v));
             }
         }
@@ -335,6 +334,172 @@ impl Machine {
                 return Err(ExecError::DoubleStore { array: a, index: idx, node });
             }
             self.arrays[a.index()][idx as usize] = v;
+        }
+        Ok(())
+    }
+}
+
+/// Counters from a latency-aware model run ([`Machine::run_model`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModelRunStats {
+    /// The plain single-cycle counters (instructions issued, commits, …).
+    pub base: RunStats,
+    /// Interlock stalls: cycles the machine waited for an in-flight
+    /// multi-cycle result before an instruction could issue.
+    pub stall_cycles: u64,
+    /// Instructions whose static shape violated the issue template
+    /// (width, class slots, or jump budget) — a scheduler bug for
+    /// schedules built against the same description.
+    pub template_violations: u64,
+}
+
+impl ModelRunStats {
+    /// Wall-clock cycles under the model: issued instructions plus stalls.
+    pub fn total_cycles(&self) -> u64 {
+        self.base.cycles + self.stall_cycles
+    }
+}
+
+impl Machine {
+    /// Execute `g` under a machine description, with the default fuel.
+    ///
+    /// Semantics are identical to [`Machine::run`] — an interlocked
+    /// machine stalls, it does not misread — but the run additionally
+    /// charges scoreboard stalls (an instruction cannot issue until every
+    /// register it reads has retired from its producer's pipeline) and
+    /// checks every executed instruction against the issue template. For
+    /// a unit-latency description this degenerates to `run` exactly:
+    /// zero stalls, identical cycle count.
+    pub fn run_model(&mut self, g: &Graph, desc: &MachineDesc) -> Result<ModelRunStats, ExecError> {
+        self.run_model_fuel(g, desc, crate::DEFAULT_FUEL)
+    }
+
+    /// [`Machine::run_model`] with an explicit cycle budget (counted in
+    /// issued instructions, as in [`Machine::run_fuel`]).
+    pub fn run_model_fuel(
+        &mut self,
+        g: &Graph,
+        desc: &MachineDesc,
+        fuel: u64,
+    ) -> Result<ModelRunStats, ExecError> {
+        let mut stats = ModelRunStats::default();
+        // Scoreboard: the virtual cycle at which each register's youngest
+        // in-flight write retires (readable at cycles >= that time).
+        let mut ready: Vec<u64> = vec![0; g.reg_count()];
+        // Virtual clock: the cycle the next instruction would issue at.
+        let mut now: u64 = 0;
+        let mut pc = Some(g.entry);
+        let mut reg_writes: Vec<(RegId, Value)> = Vec::new();
+        let mut write_lat: Vec<u32> = Vec::new();
+        let mut mem_writes: Vec<(ArrayId, i64, Value)> = Vec::new();
+        while let Some(node) = pc {
+            if stats.base.cycles >= fuel {
+                return Err(ExecError::FuelExhausted { fuel });
+            }
+            stats.base.cycles += 1;
+            if !desc.fits(g, node) {
+                stats.template_violations += 1;
+            }
+            reg_writes.clear();
+            write_lat.clear();
+            mem_writes.clear();
+            // Walk the selected path, tracking the latest in-flight
+            // producer among everything fetched.
+            let mut wait_until: u64 = now;
+            let mut t = &g.node(node).tree;
+            let next = loop {
+                match t {
+                    Tree::Leaf { ops, succ } => {
+                        for &op in ops {
+                            self.exec_op_model(
+                                g,
+                                node,
+                                op,
+                                desc,
+                                &ready,
+                                &mut wait_until,
+                                &mut stats.base,
+                                &mut reg_writes,
+                                &mut write_lat,
+                                &mut mem_writes,
+                            )?;
+                        }
+                        break *succ;
+                    }
+                    Tree::Branch { ops, cj, on_true, on_false } => {
+                        for &op in ops {
+                            self.exec_op_model(
+                                g,
+                                node,
+                                op,
+                                desc,
+                                &ready,
+                                &mut wait_until,
+                                &mut stats.base,
+                                &mut reg_writes,
+                                &mut write_lat,
+                                &mut mem_writes,
+                            )?;
+                        }
+                        let src = g.op(*cj).src[0];
+                        if let Operand::Reg(r) = src {
+                            wait_until = wait_until.max(ready[r.index()]);
+                        }
+                        let cond = self
+                            .fetch(node, *cj, src)?
+                            .as_b()
+                            .map_err(|err| ExecError::Type { node, op: *cj, err })?;
+                        stats.base.cjs_evaluated += 1;
+                        t = if cond { on_true } else { on_false };
+                    }
+                }
+            };
+            self.commit(node, &reg_writes, &mem_writes)?;
+            // Issue was delayed until every fetched register had retired.
+            let stall = wait_until.saturating_sub(now);
+            stats.stall_cycles += stall;
+            let issue = now + stall;
+            for (&(r, _), &lat) in reg_writes.iter().zip(&write_lat) {
+                if r.index() >= ready.len() {
+                    ready.resize(r.index() + 1, 0);
+                }
+                ready[r.index()] = issue + lat as u64;
+            }
+            now = issue + 1;
+            pc = next;
+        }
+        Ok(stats)
+    }
+
+    /// `exec_op` plus scoreboard bookkeeping: every register fetch raises
+    /// `wait_until` to its producer's retire time; every produced write
+    /// records its latency.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_op_model(
+        &self,
+        g: &Graph,
+        node: NodeId,
+        id: OpId,
+        desc: &MachineDesc,
+        ready: &[u64],
+        wait_until: &mut u64,
+        stats: &mut RunStats,
+        reg_writes: &mut Vec<(RegId, Value)>,
+        write_lat: &mut Vec<u32>,
+        mem_writes: &mut Vec<(ArrayId, i64, Value)>,
+    ) -> Result<(), ExecError> {
+        let op = g.op(id);
+        for s in &op.src {
+            if let Operand::Reg(r) = s {
+                if let Some(&t) = ready.get(r.index()) {
+                    *wait_until = (*wait_until).max(t);
+                }
+            }
+        }
+        let writes_before = reg_writes.len();
+        self.exec_op(g, node, id, stats, reg_writes, mem_writes)?;
+        for _ in writes_before..reg_writes.len() {
+            write_lat.push(desc.latency_of(op.kind));
         }
         Ok(())
     }
@@ -577,8 +742,7 @@ mod tests {
         let x = g.array("x", 2);
         let t = g.named_reg("t");
         let ld = {
-            let mut op =
-                Operation::new(OpKind::Load(x), Some(t), vec![Operand::Imm(Value::I(0))]);
+            let mut op = Operation::new(OpKind::Load(x), Some(t), vec![Operand::Imm(Value::I(0))]);
             op.disp = 0;
             g.add_op(op)
         };
@@ -596,6 +760,66 @@ mod tests {
         m.run(&g).unwrap();
         assert_eq!(m.reg(t), Some(Value::F(5.0))); // old value
         assert_eq!(m.array_f(x)[0], 9.0); // store committed
+    }
+
+    #[test]
+    fn unit_latency_model_matches_plain_run_exactly() {
+        let (g, x) = scale_loop(8);
+        let mut m0 = Machine::for_graph(&g);
+        m0.set_array_f(x, &[1.0; 8]);
+        let plain = m0.run(&g).unwrap();
+        let mut m1 = Machine::for_graph(&g);
+        m1.set_array_f(x, &[1.0; 8]);
+        let model = m1.run_model(&g, &grip_machine::MachineDesc::uniform(4)).unwrap();
+        assert_eq!(model.base, plain, "unit latencies must not change counters");
+        assert_eq!(model.stall_cycles, 0);
+        assert_eq!(model.total_cycles(), plain.cycles);
+        assert!(EquivReport::compare(&g, &m0, &m1).is_equal());
+    }
+
+    #[test]
+    fn multi_cycle_latency_charges_interlock_stalls() {
+        // t = x[k] (load) immediately feeds t2 = t * 2 in the next
+        // instruction: a distance-1 use of a 3-cycle load stalls 2 cycles
+        // per iteration; the Mul result feeds the store one row later,
+        // another stall under a 2-cycle FPU.
+        let (g, x) = scale_loop(4);
+        let desc = grip_machine::MachineDesc {
+            latency: grip_machine::LatencyTable { alu: 1, fpu: 2, fpu_long: 8, mem: 3, branch: 1 },
+            ..grip_machine::MachineDesc::uniform(4)
+        };
+        let mut m = Machine::for_graph(&g);
+        m.set_array_f(x, &[1.0; 4]);
+        let stats = m.run_model(&g, &desc).unwrap();
+        assert!(stats.stall_cycles >= 4 * 3, "per-iteration stalls: {}", stats.stall_cycles);
+        assert!(stats.total_cycles() > stats.base.cycles);
+        // Values are unchanged: the machine stalls, it does not misread.
+        assert_eq!(m.array_f(x), vec![2.0; 4]);
+        assert_eq!(stats.template_violations, 0, "1-op rows fit any preset");
+    }
+
+    #[test]
+    fn template_violations_are_counted() {
+        // A 3-op row on a width-2 machine violates the template every
+        // time it executes.
+        let mut g = Graph::new();
+        let (a, b, c) = (g.named_reg("a"), g.named_reg("b"), g.named_reg("c"));
+        let ops: Vec<_> = [(a, 1i64), (b, 2), (c, 3)]
+            .into_iter()
+            .map(|(r, v)| {
+                g.add_op(Operation::new(OpKind::Copy, Some(r), vec![Operand::Imm(Value::I(v))]))
+            })
+            .collect();
+        let n = g.add_node(Tree::Leaf { ops, succ: None });
+        g.set_succ(g.entry, grip_ir::TreePath::ROOT, Some(n));
+        g.live_out = vec![a, b, c];
+        g.validate().unwrap();
+        let mut m = Machine::for_graph(&g);
+        let stats = m.run_model(&g, &grip_machine::MachineDesc::uniform(2)).unwrap();
+        assert_eq!(stats.template_violations, 1);
+        let mut m = Machine::for_graph(&g);
+        let stats = m.run_model(&g, &grip_machine::MachineDesc::uniform(4)).unwrap();
+        assert_eq!(stats.template_violations, 0);
     }
 
     #[test]

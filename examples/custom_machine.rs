@@ -10,10 +10,7 @@ use grip::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("LL5");
-    let k = kernels()
-        .iter()
-        .find(|k| k.name.eq_ignore_ascii_case(name))
-        .expect("LL1..LL14");
+    let k = kernels().iter().find(|k| k.name.eq_ignore_ascii_case(name)).expect("LL1..LL14");
     println!("{}: {} [{}]\n", k.name, k.description, k.class);
     println!("{:<6} {:>10} {:>10}", "FUs", "CPI", "speedup");
     for fus in [1usize, 2, 3, 4, 6, 8, 12, 16] {
@@ -43,15 +40,12 @@ fn main() {
             &mut g,
             PipelineOptions {
                 unwind: 12,
-                resources: Resources { fus: 8, cjs },
+                resources: Resources::with_limits(8, cjs),
                 ..Default::default()
             },
         );
-        let label = if cjs == usize::MAX { "tree (unbounded)".into() } else { format!("{cjs} cj/instr") };
-        println!(
-            "  {:<18} speedup {:.2}",
-            label,
-            rep.speedup().unwrap_or(f64::NAN)
-        );
+        let label =
+            if cjs == usize::MAX { "tree (unbounded)".into() } else { format!("{cjs} cj/instr") };
+        println!("  {:<18} speedup {:.2}", label, rep.speedup().unwrap_or(f64::NAN));
     }
 }

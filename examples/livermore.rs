@@ -26,7 +26,7 @@ fn main() {
         PipelineOptions { resources: Resources::vliw(fus), unwind: 3 * fus, ..Default::default() },
     );
     let mut g_post = g0.clone();
-    let post = post_pipeline(&mut g_post, PostOptions { unwind: 3 * fus, fus, dce: true });
+    let post = post_pipeline(&mut g_post, PostOptions::vliw(3 * fus, fus));
 
     let idx = match fus {
         2 => Some(0),

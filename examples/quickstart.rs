@@ -42,7 +42,8 @@ fn main() {
     // The steady-state rows, paper-style.
     println!("\nsteady rows (iterations in columns):");
     let iters = report.window.iterations as usize;
-    let tab = grip::ir::print::tableau(&g, &report.steady[..report.steady.len().min(14)], iters.min(6));
+    let tab =
+        grip::ir::print::tableau(&g, &report.steady[..report.steady.len().min(14)], iters.min(6));
     print!("{}", grip::ir::print::render_tableau(&tab, iters.min(6)));
 
     // Prove the transformation exact: run both programs on the same input.

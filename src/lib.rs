@@ -8,10 +8,11 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`ir`] | VLIW program-graph IR: instruction trees (IBM model), operations, the sequential-program builder |
-//! | [`vm`] | the VLIW machine simulator (fetch-all / commit-on-selected-path, 1 cycle per instruction) |
+//! | [`machine`] | heterogeneous machine descriptions: FU classes, per-class slots, latencies, issue templates, presets (`uniform`, `clustered`, `mem_bound`, `epic8`) |
+//! | [`vm`] | the VLIW machine simulator (fetch-all / commit-on-selected-path), plus latency-aware model runs with interlock-stall accounting |
 //! | [`analysis`] | liveness over instruction trees, affine address disambiguation, dependence graph, §3.4 ranks |
 //! | [`percolate`] | Percolation Scheduling core: `move-op`, `move-cj`, renaming, copy bypass, redundancy removal |
-//! | [`core`] | **the paper's contribution**: the GRiP scheduler with Moveable-ops, resource barriers, and §3.3 gap prevention |
+//! | [`core`] | **the paper's contribution**: the GRiP scheduler with Moveable-ops, resource barriers, and §3.3 gap prevention — class- and latency-aware via [`machine`] |
 //! | [`pipeline`] | Perfect Pipelining: unwinding, pattern detection, loop re-rolling with register rotation |
 //! | [`baselines`] | Unifiable-ops scheduling (§3.1) and POST (§4) |
 //! | [`kernels`] | the Livermore Loops LL1–LL14 with native references |
@@ -47,12 +48,39 @@
 //! let speedup = report.speedup().expect("loop pipelines");
 //! assert!(speedup > 3.0, "got {speedup}");
 //! ```
+//!
+//! ## Scheduling for a heterogeneous machine
+//!
+//! The same pipeline runs against any [`machine::MachineDesc`] — e.g. a
+//! wide machine with a single memory port and multi-cycle latencies —
+//! and the simulator validates the schedule under the *same* model
+//! ([`vm::Machine::run_model`]): interlock stalls are charged, issue
+//! templates are checked.
+//!
+//! ```
+//! use grip::prelude::*;
+//!
+//! let k = grip::kernels::kernels().iter().find(|k| k.name == "LL3").unwrap();
+//! let g0 = (k.build)(32);
+//! let mut g = g0.clone();
+//! let desc = MachineDesc::mem_bound();
+//! perfect_pipeline(&mut g, PipelineOptions {
+//!     resources: Resources::machine(desc),
+//!     unwind: 6,
+//!     ..Default::default()
+//! });
+//! let mut m = Machine::for_graph(&g);
+//! (k.init)(&g, &mut m, 32);
+//! let stats = m.run_model(&g, &desc).expect("schedule runs");
+//! assert_eq!(stats.template_violations, 0);
+//! ```
 
 pub use grip_analysis as analysis;
 pub use grip_baselines as baselines;
 pub use grip_core as core;
 pub use grip_ir as ir;
 pub use grip_kernels as kernels;
+pub use grip_machine as machine;
 pub use grip_percolate as percolate;
 pub use grip_pipeline as pipeline;
 pub use grip_vm as vm;
@@ -65,7 +93,8 @@ pub mod prelude {
     pub use grip_ir::{
         ArrayId, Graph, NodeId, OpId, OpKind, Operand, Operation, ProgramBuilder, RegId, Value,
     };
+    pub use grip_machine::{FuClass, LatencyTable, MachineDesc, MachineModel};
     pub use grip_percolate::Ctx;
     pub use grip_pipeline::{perfect_pipeline, PipelineOptions, PipelineReport};
-    pub use grip_vm::{EquivReport, Machine};
+    pub use grip_vm::{EquivReport, Machine, ModelRunStats};
 }

@@ -9,11 +9,19 @@ use grip::prelude::*;
 /// Debug builds run the same assertions on smaller windows so the
 /// unoptimized test suite stays fast; release uses measurement-grade sizes.
 fn unwind_for(fus: usize) -> usize {
-    if cfg!(debug_assertions) { (2 * fus).clamp(6, 10) } else { (3 * fus).clamp(10, 20) }
+    if cfg!(debug_assertions) {
+        (2 * fus).clamp(6, 10)
+    } else {
+        (3 * fus).clamp(10, 20)
+    }
 }
 
 fn trip() -> i64 {
-    if cfg!(debug_assertions) { 24 } else { 48 }
+    if cfg!(debug_assertions) {
+        24
+    } else {
+        48
+    }
 }
 
 fn grip_opts(fus: usize) -> PipelineOptions {
@@ -67,23 +75,14 @@ fn grip_dominates_post_and_fills_vector_loops() {
             let mut g1 = (k.build)(n);
             let grip = perfect_pipeline(&mut g1, grip_opts(fus));
             let mut g2 = (k.build)(n);
-            let post = post_pipeline(
-                &mut g2,
-                PostOptions { unwind: unwind_for(fus), fus, dce: true },
-            );
+            let post = post_pipeline(&mut g2, PostOptions::vliw(unwind_for(fus), fus));
             // Cap both at the physical issue bound: a slope estimate above
             // width×1.15 means the (debug-sized) window never reached steady
             // state and measures fill, not throughput.
             let cap = fus as f64 * 1.15;
-            let (sg, sp) = (
-                grip.speedup().unwrap_or(0.0).min(cap),
-                post.speedup().unwrap_or(0.0).min(cap),
-            );
-            assert!(
-                sg >= sp - 0.45,
-                "{} @{fus}FU: POST {sp:.2} beats GRiP {sg:.2}",
-                k.name
-            );
+            let (sg, sp) =
+                (grip.speedup().unwrap_or(0.0).min(cap), post.speedup().unwrap_or(0.0).min(cap));
+            assert!(sg >= sp - 0.45, "{} @{fus}FU: POST {sp:.2} beats GRiP {sg:.2}", k.name);
             if vectorizable.contains(&k.name) {
                 assert!(
                     sg >= 0.85 * fus as f64,
