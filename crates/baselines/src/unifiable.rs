@@ -254,8 +254,27 @@ impl<'g, 'a> UnifiableSched<'g, 'a> {
                 plan_move_cj(self.g, self.ctx, cur, parent, op, leaf, None).is_ok()
                     && move_cj(self.g, self.ctx, cur, parent, op, leaf).is_ok()
             } else {
-                plan_move_op(self.g, self.ctx, cur, parent, op, leaf, None).is_ok()
-                    && move_op(self.g, self.ctx, cur, parent, op, leaf).is_ok()
+                // A renaming hop leaves an ALU-class compensation copy in
+                // `cur` where the departing op used to sit. On a machine
+                // with per-class slot caps the swap changes `cur`'s class
+                // footprint, so it must itself fit the issue template —
+                // the membership oracle cannot see this (renaming is a
+                // transformation detail), so the hop re-checks it here,
+                // exactly as GRiP's `hop` does. Without the check the
+                // baseline emits template-violating rows on class-capped
+                // machines.
+                match plan_move_op(self.g, self.ctx, cur, parent, op, leaf, None) {
+                    Ok(plan) => {
+                        let fits = !plan.needs_rename
+                            || self.resources.desc().copy_swap_fits(
+                                self.g,
+                                cur,
+                                self.g.op(op).kind,
+                            );
+                        fits && move_op(self.g, self.ctx, cur, parent, op, leaf).is_ok()
+                    }
+                    Err(_) => false,
+                }
             };
             if !ok {
                 return false;

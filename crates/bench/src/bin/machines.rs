@@ -30,15 +30,21 @@ fn main() {
         Err(e) => eprintln!("\ncould not write {path}: {e}"),
     }
 
-    let bad: Vec<&_> = cells.iter().filter(|c| !c.verified || c.template_violations > 0).collect();
+    let bad: Vec<&_> = cells
+        .iter()
+        .filter(|c| !c.verified || c.template_violations > 0 || c.sched_stalls > 0)
+        .collect();
     if bad.is_empty() {
-        println!("\nAll cells verified against sequential execution; no template violations.");
+        println!(
+            "\nAll cells verified against sequential execution; \
+             no template violations, no interlock stalls."
+        );
     } else {
         println!("\nVIOLATIONS:");
         for c in bad {
             println!(
-                "  {} on {}: verified={} template_violations={}",
-                c.kernel, c.machine, c.verified, c.template_violations
+                "  {} on {}: verified={} template_violations={} sched_stalls={}",
+                c.kernel, c.machine, c.verified, c.template_violations, c.sched_stalls
             );
         }
         std::process::exit(1);

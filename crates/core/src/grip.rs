@@ -106,10 +106,19 @@ pub struct ScheduleStats {
     pub dce_removed: u64,
     /// Empty instructions deleted.
     pub nodes_deleted: u64,
+    /// Empty-row deletions refused because they would re-shrink a
+    /// producer→consumer distance below the producer's latency.
+    pub deletions_blocked: u64,
     /// Candidate-selection rounds.
     pub picks: u64,
     /// Speculative hops vetoed by the speculation policy.
     pub speculation_vetoes: u64,
+    /// Delay rows inserted by the hazard-resolution post-pass.
+    pub hazard_delay_rows: u64,
+    /// Ready ops backfilled into delay rows by the post-pass.
+    pub hazard_backfills: u64,
+    /// Rows emptied by backfill and reclaimed by the post-pass.
+    pub hazard_reclaimed_rows: u64,
 }
 
 /// One event of a traced schedule.
@@ -184,6 +193,10 @@ pub struct Grip<'g, 'a> {
     region: Vec<NodeId>,
     pos: HashMap<NodeId, usize>,
     suspended: HashMap<OpId, ()>,
+    /// Sequential rows directly above the region top, nearest first — the
+    /// part of the latency-hazard scan window that lies outside the
+    /// region (empty on unit-latency machines).
+    above_region: Vec<NodeId>,
     stats: ScheduleStats,
     trace: Vec<TraceEvent>,
 }
@@ -198,7 +211,8 @@ impl<'g, 'a> Grip<'g, 'a> {
         cfg: GripConfig,
         region: Vec<NodeId>,
     ) -> Self {
-        let pos = region.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = region.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let above_region = Grip::prefix_chain(g, &region, &pos, &cfg);
         Grip {
             g,
             ctx,
@@ -207,9 +221,48 @@ impl<'g, 'a> Grip<'g, 'a> {
             region,
             pos,
             suspended: HashMap::new(),
+            above_region,
             stats: ScheduleStats::default(),
             trace: Vec::new(),
         }
+    }
+
+    /// The unambiguous chain of predecessor rows above the region top
+    /// (nearest first), up to the hazard-scan depth. Back edges from
+    /// inside the region are ignored; a multi-predecessor join stops the
+    /// chain conservatively. Nodes above the region are never edited by
+    /// the scheduler, so the chain is computed once.
+    fn prefix_chain(
+        g: &Graph,
+        region: &[NodeId],
+        pos: &HashMap<NodeId, usize>,
+        cfg: &GripConfig,
+    ) -> Vec<NodeId> {
+        let depth = (cfg.resources.desc().max_latency() as usize).saturating_sub(1);
+        let Some(&top) = region.first() else { return Vec::new() };
+        if depth == 0 {
+            return Vec::new();
+        }
+        let preds = g.predecessors();
+        let mut chain = Vec::with_capacity(depth);
+        let mut cur = top;
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        while chain.len() < depth {
+            let above: Vec<NodeId> = preds
+                .get(&cur)
+                .map(|ps| {
+                    ps.iter()
+                        .copied()
+                        .filter(|p| !pos.contains_key(p) && !seen.contains(p))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let [only] = above[..] else { break };
+            seen.insert(only);
+            chain.push(only);
+            cur = only;
+        }
+        chain
     }
 
     /// Run the full top-down schedule (Figure 10 / Figure 12).
@@ -233,6 +286,16 @@ impl<'g, 'a> Grip<'g, 'a> {
             }
             self.cleanup_empty_below(i);
             i = self.pos.get(&n).map(|&p| p + 1).unwrap_or(i);
+        }
+        // Hazard-resolution post-pass: upgrade the best-effort latency
+        // guard to a hard invariant — after this, the schedule is
+        // stall-free on its target machine (no-op under unit latencies).
+        let desc = *self.cfg.resources.desc();
+        if desc.max_latency() > 1 {
+            let hz = crate::hazards::resolve_hazards(self.g, self.ctx, &desc, &mut self.region);
+            self.stats.hazard_delay_rows = hz.delay_rows;
+            self.stats.hazard_backfills = hz.backfilled;
+            self.stats.hazard_reclaimed_rows = hz.reclaimed_rows;
         }
         ScheduleOutput { stats: self.stats, trace: self.trace, region: self.region }
     }
@@ -520,60 +583,59 @@ impl<'g, 'a> Grip<'g, 'a> {
     // Latency hazards (machine model)
     // ------------------------------------------------------------------
 
+    /// Would `cur` still fit its issue template after `op` is replaced by
+    /// a compensation copy? (Copies issue on the ALU class.)
+    fn rename_copy_fits(&self, cur: NodeId, op: OpId) -> bool {
+        self.cfg.resources.desc().copy_swap_fits(self.g, cur, self.g.op(op).kind)
+    }
+
     /// Would landing `op` in `row` place it closer to a multi-cycle
     /// producer of one of its sources than that producer's latency?
     ///
     /// Upward motion only ever *shrinks* the distance to producers (they
     /// sit above) and grows the distance to consumers, so checking the
     /// producer side on every landing suppresses new hazards at the
-    /// moment of the move. The guard is best-effort, not an invariant:
-    /// hazards inherited from the sequential program survive, and a later
-    /// empty-row deletion between producer and consumer can re-shrink an
-    /// approved distance. Both residues are absorbed (and billed) by the
-    /// simulator's interlock stalls rather than miscomputed. The scan
-    /// walks at most `max_latency - 1` region rows above `row` per source
-    /// and stops at the nearest def (which shadows older ones), so the
-    /// unit-latency model pays nothing.
-    /// Would `cur` still fit its issue template after `op` is replaced by
-    /// a compensation copy? (Copies issue on the ALU class.)
-    fn rename_copy_fits(&self, cur: NodeId, op: OpId) -> bool {
-        let desc = self.cfg.resources.desc();
-        if !desc.has_class_caps() {
-            return true;
-        }
-        let copy_class = grip_machine::FuClass::of(grip_ir::OpKind::Copy);
-        if grip_machine::FuClass::of(self.g.op(op).kind) == copy_class {
-            return true;
-        }
-        grip_machine::MachineDesc::class_count(self.g, cur, copy_class)
-            < desc.class_slots[copy_class.index()]
-    }
-
+    /// moment of the move. The scan counts *live* rows only (a deleted
+    /// region slot issues nothing) and, when it runs off the region top,
+    /// continues into the cached chain of sequential rows above the
+    /// region — cross-region producers used to slip through here
+    /// unchecked. It walks at most `max_latency - 1` rows per source and
+    /// stops at the nearest def (which shadows older ones), so the
+    /// unit-latency model pays nothing. The guard remains best-effort
+    /// (back-edge distances are out of scope); the hazard-resolution
+    /// post-pass upgrades the residue to a hard stall-free invariant.
     fn latency_blocked(&self, row: NodeId, op: OpId) -> bool {
-        let lmax = self.cfg.resources.desc().max_latency() as usize;
+        let desc = self.cfg.resources.desc();
+        let lmax = desc.max_latency() as usize;
         if lmax <= 1 {
             return false;
         }
         let Some(&ridx) = self.pos.get(&row) else { return false };
         let mut unresolved: Vec<grip_ir::RegId> = self.g.op(op).reads().collect();
-        for d in 1..lmax {
-            if unresolved.is_empty() || d > ridx {
-                break;
-            }
-            let above = self.region[ridx - d];
+        if unresolved.is_empty() {
+            return false;
+        }
+        let mut d = 0usize; // live-instruction distance walked so far
+        let region_above = self.region[..ridx].iter().rev();
+        for &above in region_above.chain(self.above_region.iter()) {
             if !self.g.node_exists(above) {
                 continue;
+            }
+            d += 1;
+            if d >= lmax {
+                return false; // every remaining producer has retired
             }
             for (_, w) in self.g.node_ops(above) {
                 let wo = self.g.op(w);
                 let Some(dst) = wo.dest else { continue };
                 let before = unresolved.len();
                 unresolved.retain(|&r| r != dst);
-                if unresolved.len() != before
-                    && self.cfg.resources.desc().latency_of(wo.kind) as usize > d
-                {
+                if unresolved.len() != before && desc.latency_of(wo.kind) as usize > d {
                     return true;
                 }
+            }
+            if unresolved.is_empty() {
+                return false;
             }
         }
         false
@@ -725,12 +787,29 @@ impl<'g, 'a> Grip<'g, 'a> {
         self.pos = self.region.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     }
 
+    /// May the empty row `n` be deleted without re-shrinking a
+    /// producer→consumer issue distance below the producer's latency?
+    /// (Row deletion used to undo distances the latency guard had already
+    /// approved — the re-shrink bug; refused deletions are counted.)
+    fn deletion_is_hazard_safe(&mut self, n: NodeId) -> bool {
+        let desc = self.cfg.resources.desc();
+        if desc.max_latency() <= 1 {
+            return true;
+        }
+        let safe = !crate::hazards::delete_would_create_hazard(self.g, &self.ctx.preds, desc, n);
+        if !safe {
+            self.stats.deletions_blocked += 1;
+        }
+        safe
+    }
+
     fn try_delete(&mut self, n: NodeId) {
         if self.g.node_exists(n)
             && self.g.node(n).tree.is_empty()
             && n != self.g.entry
             && self.pos.contains_key(&n)
             && self.pos[&n] != 0
+            && self.deletion_is_hazard_safe(n)
             && try_delete_empty(self.g, self.ctx, n)
         {
             self.stats.nodes_deleted += 1;
@@ -770,6 +849,7 @@ impl<'g, 'a> Grip<'g, 'a> {
             if self.g.node_exists(n)
                 && self.g.node(n).tree.is_empty()
                 && i != 0
+                && self.deletion_is_hazard_safe(n)
                 && try_delete_empty(self.g, self.ctx, n)
             {
                 self.stats.nodes_deleted += 1;

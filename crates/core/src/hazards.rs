@@ -1,0 +1,685 @@
+//! Hazard resolution: make every emitted schedule provably stall-free.
+//!
+//! The simulator's scoreboard (the VM's `run_model`) stalls an
+//! instruction until every register it reads has retired from its
+//! producer's pipeline: a producer of latency `L` issued at cycle `t`
+//! makes its destination readable at cycle `t + L`, so a consumer must
+//! sit at least `L` issued instructions downstream on every execution
+//! path. GRiP's in-flight `latency_blocked` guard enforces this only for
+//! the op being moved, only upward, and only inside the region — hazards
+//! inherited from the sequential program, hazards around the loop back
+//! edge, and hazards on the exit fix-up chains all survive scheduling and
+//! were previously absorbed (and billed) as interlock stalls.
+//!
+//! This module closes the gap with a post-pass over the *whole* reachable
+//! graph:
+//!
+//! 1. a countdown dataflow (internal `analyze`): for every node, the
+//!    per-register number of delay cycles still outstanding at its entry,
+//!    computed to a fixpoint with max-merge at joins (so loop back edges
+//!    are covered) and per-leaf-path gen/kill inside instruction trees
+//!    (a unit-latency redefinition shadows an older in-flight producer,
+//!    exactly as the scoreboard's `ready` table does);
+//! 2. **padding**: empty delay rows are spliced into precisely the edges
+//!    whose source still carries a positive countdown for a register the
+//!    target reads, until no hazard remains;
+//! 3. **backfill**: ready operations from rows below are pulled up into
+//!    open slots (legality via [`grip_percolate::plan_move_op`], landing
+//!    re-checked against the countdown state, renaming and speculative
+//!    moves excluded), and rows that empty out are deleted — but only
+//!    through the hazard-preserving [`delete_would_create_hazard`] check,
+//!    because removing a row between a multi-cycle producer and its
+//!    consumer shrinks their issue distance by one and can re-introduce a
+//!    hazard the schedule already paid for (the re-shrink bug).
+//!
+//! The invariant after [`resolve_hazards`] (and the roll-side
+//! [`pad_hazards`]) is hard: [`scan_hazards`] returns zero, and a
+//! `run_model` simulation of the graph charges zero
+//! `stall_cycles`. On a unit-latency machine every entry point returns
+//! immediately and the schedule is untouched, so the paper's flat model
+//! pays nothing.
+
+use grip_ir::{Graph, NodeId, OpId, RegId, Tree};
+use grip_machine::MachineDesc;
+use grip_percolate::{apply_move_op, plan_move_op, try_delete_empty_if, Ctx};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Per-register outstanding delay cycles at a program point.
+type Countdowns = HashMap<RegId, u32>;
+
+/// Counters describing one hazard-resolution run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HazardStats {
+    /// Hazardous (producer-too-close) edges found across all rounds.
+    pub hazards: u64,
+    /// Empty delay rows inserted to restore producer distances.
+    pub delay_rows: u64,
+    /// Ready operations pulled up from below into open slots.
+    pub backfilled: u64,
+    /// Rows emptied by backfill and deleted (cycles reclaimed).
+    pub reclaimed_rows: u64,
+}
+
+// ----------------------------------------------------------------------
+// Countdown dataflow
+// ----------------------------------------------------------------------
+
+/// Predecessor map restricted to reachable nodes.
+fn reachable_preds(g: &Graph, nodes: &[NodeId]) -> HashMap<NodeId, Vec<NodeId>> {
+    let mut preds: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &n in nodes {
+        for s in g.unique_successors(n) {
+            preds.entry(s).or_default().push(n);
+        }
+    }
+    preds
+}
+
+/// Max-merge of the out-states of `preds`.
+fn merged_input(outs: &HashMap<NodeId, Countdowns>, preds: &[NodeId]) -> Countdowns {
+    let mut input = Countdowns::new();
+    for p in preds {
+        if let Some(out) = outs.get(p) {
+            for (&r, &c) in out {
+                input.entry(r).and_modify(|v| *v = (*v).max(c)).or_insert(c);
+            }
+        }
+    }
+    input
+}
+
+/// Transfer `input` through instruction `n`: one issue cycle elapses
+/// (every countdown drops by one) and each path's writes install their
+/// own countdowns, killing older in-flight producers of the same
+/// register on that path. Paths are merged by max, which over-approximates
+/// every selectable execution.
+fn transfer(g: &Graph, desc: &MachineDesc, n: NodeId, input: &Countdowns) -> Countdowns {
+    let decremented: Countdowns =
+        input.iter().filter_map(|(&r, &c)| (c > 1).then_some((r, c - 1))).collect();
+    let tree = &g.node(n).tree;
+    let mut out = Countdowns::new();
+    for (leaf, _) in tree.leaves() {
+        let mut path_out = decremented.clone();
+        tree.walk(&mut |p, t| {
+            if !p.is_prefix_of(leaf) {
+                return;
+            }
+            for &o in t.ops() {
+                let op = g.op(o);
+                if let Some(d) = op.dest {
+                    let l = desc.latency_of(op.kind);
+                    if l > 1 {
+                        path_out.insert(d, l - 1);
+                    } else {
+                        path_out.remove(&d);
+                    }
+                }
+            }
+        });
+        for (r, c) in path_out {
+            out.entry(r).and_modify(|v| *v = (*v).max(c)).or_insert(c);
+        }
+    }
+    out
+}
+
+/// Worklist fixpoint of the countdown dataflow over `nodes` (the
+/// reachable set) with its predecessor map; returns each node's
+/// *out*-state. Countdowns are bounded by `max_latency - 1` and the
+/// transfer is monotone, so the iteration terminates.
+fn analyze(
+    g: &Graph,
+    desc: &MachineDesc,
+    nodes: &[NodeId],
+    preds: &HashMap<NodeId, Vec<NodeId>>,
+) -> HashMap<NodeId, Countdowns> {
+    let mut outs: HashMap<NodeId, Countdowns> = HashMap::new();
+    let mut queue: VecDeque<NodeId> = nodes.iter().copied().collect();
+    let mut queued: HashSet<NodeId> = nodes.iter().copied().collect();
+    while let Some(n) = queue.pop_front() {
+        queued.remove(&n);
+        let input = merged_input(&outs, preds.get(&n).map(Vec::as_slice).unwrap_or(&[]));
+        let out = transfer(g, desc, n, &input);
+        if outs.get(&n) != Some(&out) {
+            outs.insert(n, out);
+            for s in g.unique_successors(n) {
+                if queued.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+    }
+    outs
+}
+
+/// Registers fetched by any operation of `n` (conditional-jump sources
+/// included — the scoreboard waits on them too).
+fn node_reads(g: &Graph, n: NodeId) -> HashSet<RegId> {
+    let mut reads = HashSet::new();
+    for (_, op) in g.node_ops(n) {
+        reads.extend(g.op(op).reads());
+    }
+    reads
+}
+
+/// Edges whose target still reads a register before its producer retires:
+/// `(pred, node, delay rows needed)`.
+fn hazard_edges(g: &Graph, desc: &MachineDesc) -> Vec<(NodeId, NodeId, u32)> {
+    let nodes = g.reachable();
+    let preds = reachable_preds(g, &nodes);
+    let outs = analyze(g, desc, &nodes, &preds);
+    let mut edges = Vec::new();
+    for &n in &nodes {
+        let reads = node_reads(g, n);
+        if reads.is_empty() {
+            continue;
+        }
+        for &p in preds.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+            let Some(out) = outs.get(&p) else { continue };
+            let k = reads.iter().filter_map(|r| out.get(r)).copied().max().unwrap_or(0);
+            if k > 0 {
+                edges.push((p, n, k));
+            }
+        }
+    }
+    edges
+}
+
+/// Number of hazardous reads left in the graph — the stall-freedom
+/// invariant is `scan_hazards(g, desc) == 0`, which implies a model run
+/// charges zero interlock stalls.
+pub fn scan_hazards(g: &Graph, desc: &MachineDesc) -> usize {
+    if desc.max_latency() <= 1 {
+        return 0;
+    }
+    hazard_edges(g, desc).len()
+}
+
+// ----------------------------------------------------------------------
+// Padding
+// ----------------------------------------------------------------------
+
+/// Splice `k` empty delay rows into the edge `p -> n`, keeping `region`'s
+/// schedule order consistent when either endpoint belongs to it. Returns
+/// the rows in execution order (topmost first).
+fn insert_delays(
+    g: &mut Graph,
+    region: Option<&mut Vec<NodeId>>,
+    p: NodeId,
+    n: NodeId,
+    k: u32,
+) -> Vec<NodeId> {
+    let mut target = n;
+    let mut chain = Vec::with_capacity(k as usize);
+    for _ in 0..k {
+        let d = g.add_node(Tree::leaf(Some(target)));
+        chain.push(d);
+        target = d;
+    }
+    chain.reverse(); // execution order: target (topmost) .. last-before-n
+    let paths = g.node(p).tree.leaf_paths_to(n);
+    for lp in paths {
+        g.set_succ(p, lp, Some(target));
+    }
+    if let Some(region) = region {
+        let pos: HashMap<NodeId, usize> = region.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        let at = match (pos.get(&p), pos.get(&n)) {
+            // Forward region edge: the rows run just above n.
+            (Some(&ip), Some(&ni)) if ip < ni => Some(ni),
+            // Back edge (or n outside the region): after the source row.
+            (Some(&ip), _) => Some(ip + 1),
+            (None, Some(&ni)) => Some(ni),
+            (None, None) => None,
+        };
+        if let Some(at) = at {
+            for (i, &d) in chain.iter().enumerate() {
+                region.insert((at + i).min(region.len()), d);
+            }
+        }
+    }
+    chain
+}
+
+/// Pad every hazardous edge with delay rows until the countdown analysis
+/// finds nothing left. One round suffices in the acyclic case; back edges
+/// may need another look, so the loop re-analyzes (bounded — padding only
+/// ever grows distances).
+fn pad_to_fixpoint(
+    g: &mut Graph,
+    mut region: Option<&mut Vec<NodeId>>,
+    desc: &MachineDesc,
+    stats: &mut HazardStats,
+) {
+    let rounds = 2 * desc.max_latency().max(2);
+    for _ in 0..rounds {
+        let edges = hazard_edges(g, desc);
+        if edges.is_empty() {
+            return;
+        }
+        for (p, n, k) in edges {
+            stats.hazards += 1;
+            stats.delay_rows += u64::from(k);
+            insert_delays(g, region.as_deref_mut(), p, n, k);
+        }
+    }
+    debug_assert!(
+        hazard_edges(g, desc).is_empty(),
+        "hazard padding failed to converge on {}",
+        desc.name
+    );
+}
+
+/// Make the whole reachable graph stall-free by padding alone (no region
+/// bookkeeping, no backfill). Used after loop re-rolling, whose rotation
+/// rows and shortened back edge change every cross-back-edge distance.
+pub fn pad_hazards(g: &mut Graph, desc: &MachineDesc) -> HazardStats {
+    let mut stats = HazardStats::default();
+    if desc.max_latency() <= 1 {
+        return stats;
+    }
+    pad_to_fixpoint(g, None, desc, &mut stats);
+    stats
+}
+
+// ----------------------------------------------------------------------
+// Hazard-preserving row deletion
+// ----------------------------------------------------------------------
+
+/// Would deleting the empty row `n` re-shrink a producer→consumer issue
+/// distance below the producer's latency?
+///
+/// A producer `a` rows above `n` (any path) with latency `L` and a
+/// consumer `b` rows below are `a + b` issue slots apart *through* `n`;
+/// deletion makes that `a + b - 1`, which re-introduces a hazard exactly
+/// when `b <= L - a`. The scan is conservative (it ignores same-register
+/// shadowing across paths), so it can only refuse a deletion that was in
+/// fact safe — costing one empty row, never a stall.
+pub fn delete_would_create_hazard(
+    g: &Graph,
+    preds: &HashMap<NodeId, Vec<NodeId>>,
+    desc: &MachineDesc,
+    n: NodeId,
+) -> bool {
+    let lmax = desc.max_latency();
+    if lmax <= 1 {
+        return false;
+    }
+    // Upward sweep: registers still in flight at n's entry, with the
+    // worst-case residual countdown `L - a` over all producers and paths.
+    let mut hot: Countdowns = HashMap::new();
+    let mut level: Vec<NodeId> = preds.get(&n).cloned().unwrap_or_default();
+    let mut seen_up: HashSet<(NodeId, u32)> = HashSet::new();
+    for a in 1..lmax {
+        let mut next = Vec::new();
+        for &m in &level {
+            if !g.node_exists(m) || !seen_up.insert((m, a)) {
+                continue;
+            }
+            for (_, o) in g.node_ops(m) {
+                let op = g.op(o);
+                if let Some(d) = op.dest {
+                    let l = desc.latency_of(op.kind);
+                    if l > a {
+                        hot.entry(d).and_modify(|c| *c = (*c).max(l - a)).or_insert(l - a);
+                    }
+                }
+            }
+            next.extend(preds.get(&m).cloned().unwrap_or_default());
+        }
+        level = next;
+        if level.is_empty() {
+            break;
+        }
+    }
+    if hot.is_empty() {
+        return false;
+    }
+    let cmax = hot.values().copied().max().unwrap_or(0);
+    // Downward sweep: a read of a hot register within its residual
+    // countdown would land too close once n stops issuing.
+    let mut level: Vec<NodeId> = g.unique_successors(n);
+    let mut seen_dn: HashSet<(NodeId, u32)> = HashSet::new();
+    for b in 1..=cmax {
+        let mut next = Vec::new();
+        for &m in &level {
+            if !g.node_exists(m) || !seen_dn.insert((m, b)) {
+                continue;
+            }
+            for (_, o) in g.node_ops(m) {
+                for r in g.op(o).reads() {
+                    if hot.get(&r).copied().unwrap_or(0) >= b {
+                        return true;
+                    }
+                }
+            }
+            next.extend(g.unique_successors(m));
+        }
+        level = next;
+        if level.is_empty() {
+            break;
+        }
+    }
+    false
+}
+
+// ----------------------------------------------------------------------
+// Backfill
+// ----------------------------------------------------------------------
+
+/// Pull ready operations from each region row into open slots of the live
+/// row directly above it, then hazard-safely delete rows that emptied out.
+/// Only plain moves are taken (no renaming — a compensation copy would
+/// read the moved op's fresh result at distance one — and no speculation),
+/// every landing is re-checked against the countdown state at the target's
+/// entry, and stale states stay conservative because upward producer
+/// motion only ever grows producer→consumer distances.
+fn backfill(
+    g: &mut Graph,
+    ctx: &mut Ctx<'_>,
+    desc: &MachineDesc,
+    region: &mut Vec<NodeId>,
+    stats: &mut HazardStats,
+) {
+    ctx.refresh(g);
+    for _pass in 0..64 {
+        let nodes = g.reachable();
+        let preds = reachable_preds(g, &nodes);
+        let outs = analyze(g, desc, &nodes, &preds);
+        let mut changed = false;
+        let live: Vec<NodeId> = region.iter().copied().filter(|&m| g.node_exists(m)).collect();
+        for w in live.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            if !g.node_exists(u) || !g.node_exists(v) {
+                continue;
+            }
+            // Exactly one entry edge into v, and it must come from u —
+            // otherwise the move would clone v (node splitting) or the
+            // rows are not execution-adjacent.
+            let vpreds = preds.get(&v).map(Vec::as_slice).unwrap_or(&[]);
+            let entry_edges: usize =
+                vpreds.iter().map(|&q| g.node(q).tree.leaf_paths_to(v).len()).sum();
+            if entry_edges != 1 || !vpreds.contains(&u) {
+                continue;
+            }
+            let Some(&path) = g.node(u).tree.leaf_paths_to(v).first() else { continue };
+            let in_u = merged_input(&outs, preds.get(&u).map(Vec::as_slice).unwrap_or(&[]));
+            let ops: Vec<OpId> = g
+                .node_ops(v)
+                .into_iter()
+                .filter(|&(_, o)| !g.op(o).kind.is_cj())
+                .map(|(_, o)| o)
+                .collect();
+            for op in ops {
+                if !desc.has_room(g, u, op) {
+                    continue;
+                }
+                let Ok(plan) = plan_move_op(g, ctx, v, u, op, path, None) else { continue };
+                if plan.needs_rename || plan.speculative {
+                    continue;
+                }
+                // Landing check on the *effective* sources (copy bypassing
+                // may have rewritten them).
+                let mut srcs = g.op(op).src.clone();
+                for &(i, operand) in &plan.rewrites {
+                    srcs[i] = operand;
+                }
+                if srcs
+                    .iter()
+                    .filter_map(|s| s.reg())
+                    .any(|r| in_u.get(&r).copied().unwrap_or(0) > 0)
+                {
+                    continue;
+                }
+                let out = apply_move_op(g, ctx, v, u, op, path, &plan);
+                debug_assert!(out.split.is_none(), "single-entry rows never split");
+                stats.backfilled += 1;
+                changed = true;
+            }
+        }
+        // Reclaim rows the backfill emptied — through the hazard check, so
+        // no reclaimed cycle re-shrinks a producer distance.
+        let empties: Vec<NodeId> = region
+            .iter()
+            .skip(1)
+            .copied()
+            .filter(|&m| g.node_exists(m) && m != g.entry && g.node(m).tree.is_empty())
+            .collect();
+        // Moves do not change edges (splits are excluded above), so the
+        // pass-level predecessor map stays valid until a deletion —
+        // which rewires edges and forces a recompute.
+        let mut preds_now = preds;
+        let mut preds_stale = false;
+        let mut deleted_any = false;
+        for m in empties {
+            if preds_stale {
+                preds_now = g.predecessors();
+                preds_stale = false;
+            }
+            if try_delete_empty_if(g, ctx, m, |g, m| {
+                !delete_would_create_hazard(g, &preds_now, desc, m)
+            }) {
+                region.retain(|&x| x != m);
+                stats.reclaimed_rows += 1;
+                preds_stale = true;
+                deleted_any = true;
+                changed = true;
+            }
+        }
+        if deleted_any {
+            ctx.refresh(g);
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Entry point
+// ----------------------------------------------------------------------
+
+/// Resolve every latency hazard in the reachable graph: pad, backfill
+/// ready work into the padding, pad whatever the backfill exposed, and
+/// assert the invariant. `region` is kept in schedule order (delay rows
+/// are inserted at their execution position) for downstream pattern
+/// detection. No-op on unit-latency machines.
+pub fn resolve_hazards(
+    g: &mut Graph,
+    ctx: &mut Ctx<'_>,
+    desc: &MachineDesc,
+    region: &mut Vec<NodeId>,
+) -> HazardStats {
+    let mut stats = HazardStats::default();
+    if desc.max_latency() <= 1 {
+        return stats;
+    }
+    pad_to_fixpoint(g, Some(region), desc, &mut stats);
+    backfill(g, ctx, desc, region, &mut stats);
+    pad_to_fixpoint(g, Some(region), desc, &mut stats);
+    ctx.refresh(g);
+    debug_assert_eq!(scan_hazards(g, desc), 0, "schedule not stall-free on {}", desc.name);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grip_analysis::Ddg;
+    use grip_ir::{OpKind, Operand, Operation, ProgramBuilder, RegId, Tree, TreePath, Value};
+    use grip_machine::LatencyTable;
+
+    /// A flat machine with 3-cycle loads (everything else single-cycle).
+    fn mem3(width: usize) -> MachineDesc {
+        MachineDesc {
+            latency: LatencyTable { alu: 1, fpu: 1, fpu_long: 1, mem: 3, branch: 1 },
+            ..MachineDesc::uniform(width)
+        }
+    }
+
+    /// load t = x[0] ; u = t + 1.0 — a distance-1 use of a 3-cycle load.
+    fn load_use_chain() -> (grip_ir::Graph, RegId) {
+        let mut b = ProgramBuilder::new();
+        let x = b.array("x", 4);
+        let t = b.load("t", x, Operand::Imm(Value::I(0)), 0);
+        let u = b.binary("u", OpKind::Add, Operand::Reg(t), Operand::Imm(Value::F(1.0)));
+        b.live_out(u);
+        (b.finish(), u)
+    }
+
+    #[test]
+    fn padding_restores_producer_distance() {
+        let (mut g, _) = load_use_chain();
+        let desc = mem3(4);
+        assert!(scan_hazards(&g, &desc) > 0, "the sequential chain carries the hazard");
+        let before = g.node_count();
+        let stats = pad_hazards(&mut g, &desc);
+        g.validate().unwrap();
+        assert_eq!(stats.delay_rows, 2, "a 3-cycle load needs two rows of slack");
+        assert_eq!(g.node_count(), before + 2);
+        assert_eq!(scan_hazards(&g, &desc), 0);
+
+        let mut m = grip_vm::Machine::for_graph(&g);
+        m.set_array_f(grip_ir::ArrayId::new(0), &[5.0; 4]);
+        let stats = m.run_model(&g, &desc).unwrap();
+        assert_eq!(stats.stall_cycles, 0, "padding must satisfy the scoreboard");
+    }
+
+    #[test]
+    fn unit_latency_is_a_no_op() {
+        let (mut g, _) = load_use_chain();
+        let before = g.node_count();
+        let stats = pad_hazards(&mut g, &MachineDesc::uniform(4));
+        assert_eq!(stats, HazardStats::default());
+        assert_eq!(g.node_count(), before);
+    }
+
+    #[test]
+    fn backfill_reclaims_independent_work() {
+        // load t ; u = t + 1 ; v = k + 1 — the independent ALU op below
+        // the hazard can ride up into the delay slack, emptying its row.
+        let mut b = ProgramBuilder::new();
+        let x = b.array("x", 4);
+        let k = b.named_reg("k");
+        b.const_i(k, 7);
+        let t = b.load("t", x, Operand::Imm(Value::I(0)), 0);
+        let u = b.binary("u", OpKind::Add, Operand::Reg(t), Operand::Imm(Value::F(1.0)));
+        let v = b.binary("v", OpKind::IAdd, Operand::Reg(k), Operand::Imm(Value::I(1)));
+        b.live_out(u);
+        b.live_out(v);
+        let mut g = b.finish();
+        let desc = mem3(4);
+        let ddg = Ddg::build(&g, g.entry);
+        let mut ctx = Ctx::new(&g, &ddg);
+        let mut region: Vec<grip_ir::NodeId> = g.reachable();
+        let stats = resolve_hazards(&mut g, &mut ctx, &desc, &mut region);
+        g.validate().unwrap();
+        assert_eq!(scan_hazards(&g, &desc), 0);
+        assert_eq!(stats.delay_rows, 2);
+        assert!(stats.backfilled >= 1, "v should ride up into the slack: {stats:?}");
+        assert!(stats.reclaimed_rows >= 1, "emptied rows are reclaimed: {stats:?}");
+        // Region order still matches execution order.
+        let mut m = grip_vm::Machine::for_graph(&g);
+        m.set_array_f(grip_ir::ArrayId::new(0), &[5.0; 4]);
+        let run = m.run_model(&g, &desc).unwrap();
+        assert_eq!(run.stall_cycles, 0);
+        assert_eq!(m.reg(u), Some(Value::F(6.0)));
+        assert_eq!(m.reg(v), Some(Value::I(8)));
+    }
+
+    #[test]
+    fn padding_splices_the_loop_back_edge() {
+        // t is loaded (4-cycle) one row before the latch and consumed at
+        // the loop head: the only hazard runs *around the back edge*, so
+        // the delay row must be spliced into the latch's continue side —
+        // the same shape a re-rolled loop's rotation rows produce.
+        let n = 6i64;
+        let mut b = ProgramBuilder::new();
+        let x = b.array("x", (n + 8) as usize);
+        let t = b.named_reg("t");
+        b.const_f(t, 0.5);
+        let acc = b.named_reg("acc");
+        b.const_f(acc, 1.0);
+        let k = b.named_reg("k");
+        b.const_i(k, 0);
+        b.begin_loop();
+        let s = b.binary("s", OpKind::Mul, Operand::Reg(acc), Operand::Reg(t));
+        b.emit(Operation::new(
+            OpKind::Add,
+            Some(acc),
+            vec![Operand::Reg(s), Operand::Imm(Value::F(0.25))],
+        ));
+        b.iadd_imm(k, k, 1);
+        b.emit(Operation::new(OpKind::Load(x), Some(t), vec![Operand::Reg(k)]));
+        let c = b.binary("c", OpKind::CmpLt, Operand::Reg(k), Operand::Imm(Value::I(n)));
+        b.end_loop(c);
+        let mut g = b.finish();
+        g.live_out = vec![acc, k];
+        let g0 = g.clone();
+
+        let desc = MachineDesc {
+            latency: LatencyTable { alu: 1, fpu: 1, fpu_long: 1, mem: 4, branch: 1 },
+            ..MachineDesc::uniform(4)
+        };
+        // load -> cmp -> latch -> (back edge) -> Mul is 3 issue slots; a
+        // 4-cycle load needs 4, so exactly one delay row goes in.
+        let stats = pad_hazards(&mut g, &desc);
+        g.validate().unwrap();
+        assert_eq!(stats.delay_rows, 1, "{stats:?}");
+        assert_eq!(scan_hazards(&g, &desc), 0);
+
+        let init = |m: &mut grip_vm::Machine| {
+            let xs: Vec<f64> = (0..n + 8).map(|i| 0.125 * i as f64).collect();
+            m.set_array_f(grip_ir::ArrayId::new(0), &xs);
+        };
+        let mut m0 = grip_vm::Machine::for_graph(&g0);
+        init(&mut m0);
+        m0.run(&g0).unwrap();
+        let mut m1 = grip_vm::Machine::for_graph(&g);
+        init(&mut m1);
+        let run = m1.run_model(&g, &desc).unwrap();
+        assert_eq!(run.stall_cycles, 0, "the padded back edge satisfies the scoreboard");
+        assert!(grip_vm::EquivReport::compare(&g0, &m0, &m1).is_equal());
+    }
+
+    #[test]
+    fn deletion_guard_catches_the_reshrink() {
+        // P(load, 3 cycles) -> E(empty) -> D(empty) -> C(reads the load):
+        // the distance is exactly 3; deleting either empty row re-shrinks
+        // it below the latency.
+        let mut g = grip_ir::Graph::new();
+        let x = g.array("x", 4);
+        let t = g.named_reg("t");
+        let u = g.named_reg("u");
+        let ld =
+            g.add_op(Operation::new(OpKind::Load(x), Some(t), vec![Operand::Imm(Value::I(0))]));
+        let use_ = g.add_op(Operation::new(
+            OpKind::Add,
+            Some(u),
+            vec![Operand::Reg(t), Operand::Imm(Value::F(1.0))],
+        ));
+        let c = g.add_node(Tree::Leaf { ops: vec![use_], succ: None });
+        let d = g.add_node(Tree::leaf(Some(c)));
+        let e = g.add_node(Tree::leaf(Some(d)));
+        let p = g.add_node(Tree::Leaf { ops: vec![ld], succ: Some(e) });
+        g.set_succ(g.entry, TreePath::ROOT, Some(p));
+        g.live_out = vec![u];
+        g.validate().unwrap();
+
+        let desc = mem3(4);
+        let preds = g.predecessors();
+        assert!(delete_would_create_hazard(&g, &preds, &desc, e));
+        assert!(delete_would_create_hazard(&g, &preds, &desc, d));
+        // Under unit latencies the same deletions are free.
+        assert!(!delete_would_create_hazard(&g, &preds, &MachineDesc::uniform(4), e));
+        // An unrelated consumer does not pin the row.
+        let desc1 = mem3(4);
+        let mut g2 = g.clone();
+        let k = g2.named_reg("k");
+        let indep =
+            g2.add_op(Operation::new(OpKind::Copy, Some(k), vec![Operand::Imm(Value::I(1))]));
+        g2.remove_op_from(c, use_);
+        g2.insert_op_at(c, TreePath::ROOT, indep);
+        let preds2 = g2.predecessors();
+        assert!(!delete_would_create_hazard(&g2, &preds2, &desc1, e));
+    }
+}

@@ -17,15 +17,25 @@
 //! only fillable, temporary gaps ever form — which is what makes the
 //! pipelined pattern converge.
 //!
+//! On machines with multi-cycle latencies, every schedule leaving the
+//! scheduler is additionally **stall-free**: the [`hazards`]
+//! post-pass re-checks producer→consumer issue distances over the whole
+//! reachable graph (loop back edges and exit paths included), backfills
+//! ready work into the slack, and pads whatever is left with delay rows,
+//! so the simulator's scoreboard (the VM's `run_model`)
+//! charges zero interlock stalls.
+//!
 //! Entry point: [`schedule_region`] (or the [`Grip`] builder for tracing).
 
 #![warn(missing_docs)]
 
 mod grip;
+pub mod hazards;
 mod resources;
 
 pub use grip::{
     schedule_region, Grip, GripConfig, ScheduleOutput, ScheduleStats, Speculation, TraceEvent,
 };
 pub use grip_machine::{FuClass, LatencyTable, MachineDesc, MachineError, MachineModel, UNCAPPED};
+pub use hazards::HazardStats;
 pub use resources::Resources;

@@ -236,6 +236,26 @@ impl MachineDesc {
         self.width.saturating_sub(g.node_op_count(node))
     }
 
+    /// Would `node` still fit its issue template after one of its
+    /// operations of `kind` is swapped for a register copy?
+    ///
+    /// A renaming move leaves a compensation copy — an ALU-class op — in
+    /// the row the renamed operation departs. On a flat machine the swap
+    /// is width-neutral, but with per-class slot caps it converts a `kind`
+    /// slot into an ALU slot, so schedulers must refuse renaming moves
+    /// whose swap would overflow the ALU budget (GRiP and the
+    /// Unifiable-ops baseline both consult this before renaming).
+    pub fn copy_swap_fits(&self, g: &Graph, node: NodeId, kind: OpKind) -> bool {
+        if !self.has_class_caps() {
+            return true;
+        }
+        let copy_class = FuClass::of(OpKind::Copy);
+        if FuClass::of(kind) == copy_class {
+            return true;
+        }
+        MachineDesc::class_count(g, node, copy_class) < self.class_slots[copy_class.index()]
+    }
+
     /// Does the whole instruction at `node` fit the issue template?
     /// (Static check over the full tree, used by POST's breaking phase and
     /// the simulator's template validation.)

@@ -170,7 +170,29 @@ pub fn propagate_copies(g: &mut Graph, ctx: &mut Ctx<'_>) -> usize {
 
 /// Delete `n` if it holds no operations and no jumps, splicing its
 /// predecessors to its successor. Returns true if deleted.
+///
+/// Deletion is *not* neutral on a machine with multi-cycle latencies: an
+/// empty row between a producer and a consumer is one cycle of issue
+/// distance, and removing it can shrink an already-sufficient distance
+/// back below the producer's latency (the re-shrink bug). Latency-aware
+/// callers must use [`try_delete_empty_if`] with a hazard check instead.
 pub fn try_delete_empty(g: &mut Graph, ctx: &mut Ctx<'_>, n: NodeId) -> bool {
+    try_delete_empty_if(g, ctx, n, |_, _| true)
+}
+
+/// [`try_delete_empty`] guarded by a caller-supplied safety predicate:
+/// the node is removed only when it is structurally deletable *and*
+/// `safe(g, n)` agrees. The predicate runs after the structural checks,
+/// immediately before the splice, so it sees exactly the graph that the
+/// deletion would edit. Schedulers pass a producer-distance re-check here
+/// (e.g. `grip_core::hazards::delete_would_create_hazard`) to keep their
+/// schedules stall-free.
+pub fn try_delete_empty_if(
+    g: &mut Graph,
+    ctx: &mut Ctx<'_>,
+    n: NodeId,
+    safe: impl FnOnce(&Graph, NodeId) -> bool,
+) -> bool {
     if n == g.entry || !g.node_exists(n) {
         return false;
     }
@@ -181,6 +203,9 @@ pub fn try_delete_empty(g: &mut Graph, ctx: &mut Ctx<'_>, n: NodeId) -> bool {
     let succs = instr.tree.successors();
     if succs.first().copied() == Some(n) {
         return false; // degenerate self-loop
+    }
+    if !safe(g, n) {
+        return false;
     }
     g.delete_empty_node(n);
     ctx.refresh_preds(g);

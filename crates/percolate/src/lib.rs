@@ -25,7 +25,9 @@ mod ctx;
 mod movecj;
 mod moveop;
 
-pub use cleanup::{eliminate_dead_ops, propagate_copies, remove_if_dead, try_delete_empty};
+pub use cleanup::{
+    eliminate_dead_ops, propagate_copies, remove_if_dead, try_delete_empty, try_delete_empty_if,
+};
 pub use ctx::Ctx;
 pub use movecj::{apply_move_cj, move_cj, plan_move_cj, MoveCjOutcome};
 pub use moveop::{apply_move_op, move_op, plan_move_op, MoveFail, MoveOutcome, MovePlan};

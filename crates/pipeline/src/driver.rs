@@ -131,6 +131,15 @@ pub fn perfect_pipeline(g: &mut Graph, opts: PipelineOptions) -> PipelineReport 
                     attempt = roll(g, &window, &steady, &shifted, fus);
                 }
             }
+            // Re-rolling rewires the back edge (through the rotation rows)
+            // and shortens every cross-back-edge path, so the stall-free
+            // invariant the scheduler established must be restored on the
+            // rolled loop: the rotation copies read pattern-defined values
+            // whose producers may now sit one row away. No-op under unit
+            // latencies.
+            if attempt.is_ok() {
+                grip_core::hazards::pad_hazards(g, opts.resources.desc());
+            }
             Some(attempt)
         }
         _ => None,
