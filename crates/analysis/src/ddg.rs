@@ -12,6 +12,12 @@ use grip_ir::{Graph, NodeId, OpId, OpKind};
 use std::collections::{HashMap, HashSet};
 
 /// Dependence graph: register true deps + memory deps, plus derived ranks.
+///
+/// `Clone` is cheap enough to support caching: the maps are keyed by op
+/// ids, which survive graph cloning unchanged, so a `Ddg` built on a graph
+/// applies verbatim to any clone of that graph (the service layer's DDG
+/// cache relies on this).
+#[derive(Clone)]
 pub struct Ddg {
     /// Direct true-dependence successors (reg + mem edges merged).
     succs: HashMap<OpId, Vec<OpId>>,
@@ -123,6 +129,17 @@ impl Ddg {
     /// chain, itself included) and the transitive dependent count — the two
     /// keys of the paper's §3.4 ranking heuristic.
     pub fn chain_metrics(&self) -> ChainMetrics {
+        self.chain_metrics_weighted(|_| 1)
+    }
+
+    /// [`Ddg::chain_metrics`] with a per-op weight: the chain rooted at an
+    /// op is the maximum *weight sum* over dependence chains below it,
+    /// itself included. With `weight(op)` = the op's issue-to-result
+    /// latency, chains measure critical-path **cycles** rather than hop
+    /// count, so a 16-cycle divide outranks a string of unit-latency adds.
+    /// `weight = |_| 1` reproduces [`Ddg::chain_metrics`] exactly (the
+    /// paper's unit-latency ranking is the special case).
+    pub fn chain_metrics_weighted(&self, weight: impl Fn(OpId) -> u32) -> ChainMetrics {
         let n = self.order.len();
         let idx: HashMap<OpId, usize> =
             self.order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
@@ -141,7 +158,7 @@ impl Ddg {
                 a.union_with(b);
                 a.insert(si);
             }
-            chain[i] = 1 + best;
+            chain[i] = weight(op) + best;
             dependents[i] = desc[i].len() as u32;
         }
         ChainMetrics { idx, chain, dependents }

@@ -26,6 +26,10 @@ pub struct Priority {
     pub iter: u32,
     /// Negated longest chain — ascending means longest chain first.
     neg_chain: i64,
+    /// Negated own weight (issue latency under latency-aware ranks; the
+    /// constant 1 otherwise, where it cannot reorder anything): among
+    /// equal chains, start the op whose result takes longest to arrive.
+    neg_weight: i64,
     /// Negated dependent count.
     neg_dependents: i64,
     /// Textual order tiebreak (ancestor op id).
@@ -35,15 +39,58 @@ pub struct Priority {
 /// Priority table derived from a [`Ddg`].
 pub struct RankTable {
     metrics: ChainMetrics,
+    /// Per-op weights under latency-aware ranks (`None` = all ops weigh 1,
+    /// the paper's formulation).
+    weights: Option<std::collections::HashMap<OpId, u32>>,
+    /// Iterations ranked together as one group (1 = the paper's exact
+    /// stipulation; latency-aware ranks widen the group so adjacent
+    /// iterations can interleave across multi-cycle latencies).
+    iter_group: u32,
     /// When false (plain compaction, no pipelining), iteration tags are
     /// ignored.
     pub iteration_major: bool,
 }
 
 impl RankTable {
-    /// Build ranks for the given dependence graph.
+    /// Build ranks for the given dependence graph (unit weights: chains
+    /// count ops, the paper's formulation).
     pub fn new(ddg: &Ddg, iteration_major: bool) -> RankTable {
-        RankTable { metrics: ddg.chain_metrics(), iteration_major }
+        RankTable { metrics: ddg.chain_metrics(), weights: None, iter_group: 1, iteration_major }
+    }
+
+    /// Build **latency-aware** ranks: chains are weighted by `weight`
+    /// (typically the op's issue latency on the target machine), so the
+    /// scheduler drains long-latency critical paths first instead of
+    /// packing them tightly and leaving the hazard post-pass to pad the
+    /// stalls back in. With unit weights this is [`RankTable::new`]
+    /// bit-for-bit.
+    pub fn with_weights(
+        ddg: &Ddg,
+        iteration_major: bool,
+        weight: impl Fn(OpId) -> u32,
+    ) -> RankTable {
+        RankTable::with_weights_grouped(ddg, iteration_major, 1, weight)
+    }
+
+    /// [`RankTable::with_weights`] with the iteration-major stipulation
+    /// coarsened to groups of `iter_group` consecutive iterations:
+    /// within a group, the weighted chain decides, so iteration *i+1*'s
+    /// long-latency chain can start under iteration *i*'s shadow. Group 1
+    /// is the exact stipulation; unit weights + group 1 reproduce
+    /// [`RankTable::new`] bit-for-bit.
+    pub fn with_weights_grouped(
+        ddg: &Ddg,
+        iteration_major: bool,
+        iter_group: u32,
+        weight: impl Fn(OpId) -> u32,
+    ) -> RankTable {
+        let weights = ddg.order().iter().map(|&o| (o, weight(o))).collect();
+        RankTable {
+            metrics: ddg.chain_metrics_weighted(weight),
+            weights: Some(weights),
+            iter_group: iter_group.max(1),
+            iteration_major,
+        }
     }
 
     /// Priority of `op` in graph `g` (duplicated ops inherit their
@@ -54,13 +101,20 @@ impl RankTable {
         // to the op's own id for tables built on already-transformed graphs.
         let mut chain = self.metrics.chain(o.orig);
         let mut deps = self.metrics.dependents(o.orig);
+        let mut key = o.orig;
         if chain == 0 {
             chain = self.metrics.chain(op);
             deps = self.metrics.dependents(op);
+            key = op;
         }
+        let weight = match &self.weights {
+            Some(w) => w.get(&key).copied().unwrap_or(1),
+            None => 1,
+        };
         Priority {
-            iter: if self.iteration_major { o.iter } else { 0 },
+            iter: if self.iteration_major { o.iter / self.iter_group } else { 0 },
             neg_chain: -(chain as i64),
+            neg_weight: -(i64::from(weight)),
             neg_dependents: -(deps as i64),
             orig: o.orig,
         }
@@ -119,6 +173,63 @@ mod tests {
         let ops = ddg.order().to_vec();
         let (opx, opy) = (ops[0], ops[1]);
         assert_eq!(ranks.compare(&g, opx, opy), Ordering::Less, "x has more dependents");
+    }
+
+    #[test]
+    fn latency_weights_promote_long_chains_and_unit_weights_change_nothing() {
+        // slow = one 16-cycle op; fast chain = two unit ops.
+        let mut b = ProgramBuilder::new();
+        let a = b.named_reg("a");
+        b.const_i(a, 1);
+        let f1 = b.binary("f1", OpKind::IAdd, Operand::Reg(a), Operand::Imm(Value::I(1)));
+        let _f2 = b.binary("f2", OpKind::IAdd, Operand::Reg(f1), Operand::Imm(Value::I(1)));
+        let s = b.named_reg("s");
+        b.const_f(s, 2.0);
+        let _d = b.binary("d", OpKind::Div, Operand::Reg(s), Operand::Imm(Value::F(3.0)));
+        let g = b.finish();
+        let ddg = Ddg::build(&g, g.entry);
+        let ops = ddg.order().to_vec();
+        // ops: [a, f1, f2, s=const, d=div]
+        let (op_a, op_s) = (ops[0], ops[3]);
+        // Unit view: a's chain (3 ops) beats s's chain (2 ops).
+        let unit = RankTable::new(&ddg, false);
+        assert_eq!(unit.compare(&g, op_a, op_s), Ordering::Less);
+        // Explicit unit weights are the same table bit-for-bit.
+        let unit_w = RankTable::with_weights(&ddg, false, |_| 1);
+        for &x in &ops {
+            for &y in &ops {
+                assert_eq!(unit.compare(&g, x, y), unit_w.compare(&g, x, y));
+            }
+        }
+        // Latency view (div = 16): s roots a 17-cycle chain, a only 3.
+        let lat = RankTable::with_weights(&ddg, false, |o| match g.op(o).kind {
+            OpKind::Div => 16,
+            _ => 1,
+        });
+        assert_eq!(lat.compare(&g, op_s, op_a), Ordering::Less, "weighted chain wins");
+    }
+
+    #[test]
+    fn iteration_groups_coarsen_the_stipulation() {
+        let mut b = ProgramBuilder::new();
+        let a = b.named_reg("a");
+        b.const_i(a, 1);
+        let l1 = b.binary("l1", OpKind::IAdd, Operand::Reg(a), Operand::Imm(Value::I(1)));
+        let _l2 = b.binary("l2", OpKind::IAdd, Operand::Reg(l1), Operand::Imm(Value::I(1)));
+        let mut g = b.finish();
+        let ddg = Ddg::build(&g, g.entry);
+        let ops = ddg.order().to_vec();
+        // The long-chain op sits in iteration 1, a short op in iteration 0.
+        g.op_mut(ops[0]).iter = 1; // chain 3
+        g.op_mut(ops[2]).iter = 0; // chain 1
+        let exact = RankTable::with_weights_grouped(&ddg, true, 1, |_| 1);
+        assert_eq!(exact.compare(&g, ops[2], ops[0]), Ordering::Less, "iteration wins at group 1");
+        let paired = RankTable::with_weights_grouped(&ddg, true, 2, |_| 1);
+        assert_eq!(
+            paired.compare(&g, ops[0], ops[2]),
+            Ordering::Less,
+            "inside one pair the chain decides"
+        );
     }
 
     #[test]

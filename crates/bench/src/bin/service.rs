@@ -1,0 +1,150 @@
+//! Throughput bench for the scheduling service: drive a ~1000-request
+//! mixed sweep (all machine presets × LL1–LL14, repeated and shuffled)
+//! through an in-process [`grip_service::Service`] and emit
+//! `BENCH_service.json` — requests/sec, cache hit rate, p50/p99 request
+//! latency, plus the aggregate cache counters.
+//!
+//! Gates (exit nonzero on violation):
+//! * every response `ok`, VM-verified, with 0 stall cycles and 0
+//!   template violations — the stall-free invariant through the service
+//!   path;
+//! * every cache-hit response bit-identical to the first (cold) response
+//!   for the same work;
+//! * with repeats, a nonzero schedule-cache hit count.
+//!
+//! Usage: `service [trip-count] [--repeat K] [--shards N] [--seed S]`
+//! (defaults: n = 48, repeat = 12 → 1008 requests).
+
+use grip_bench::json::Json;
+use grip_service::workload::{mixed_workload, percentile};
+use grip_service::{CacheStatus, ScheduleResponse, Service, ServiceConfig};
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n: i64 = 48;
+    let mut repeat: usize = 12;
+    let mut shards: usize = 0;
+    let mut seed: u64 = 0x9fb3;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--repeat" => repeat = it.next().and_then(|v| v.parse().ok()).expect("--repeat K"),
+            "--shards" => shards = it.next().and_then(|v| v.parse().ok()).expect("--shards N"),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S"),
+            v => n = v.parse().expect("usage: service [n] [--repeat K] [--shards N] [--seed S]"),
+        }
+    }
+
+    let service = Service::new(ServiceConfig { shards, ..Default::default() });
+    let reqs = mixed_workload(n, repeat, seed);
+    let total = reqs.len();
+    eprintln!(
+        "service sweep: {} requests ({} unique cells × {repeat}), n = {n}, {} shards …",
+        total,
+        total / repeat.max(1),
+        service.shards()
+    );
+
+    let t0 = std::time::Instant::now();
+    let responses = service.submit_batch(reqs.clone());
+    let wall = t0.elapsed();
+
+    // Gate 1: verified, stall-free, template-clean, everywhere.
+    let mut violations: Vec<String> = Vec::new();
+    for r in &responses {
+        if !r.ok || !r.verified || r.sched_stalls != 0 || r.template_violations != 0 {
+            violations.push(format!(
+                "{} on {}: ok={} verified={} stalls={} templates={} {}",
+                r.kernel,
+                r.machine,
+                r.ok,
+                r.verified,
+                r.sched_stalls,
+                r.template_violations,
+                r.error.as_deref().unwrap_or("")
+            ));
+        }
+    }
+    // Gate 2: every hit bit-identical to the first response for its cell
+    // (cell = the engine's schedule-cache key, option bits included, so a
+    // future options-varying workload cannot cross-compare cells).
+    let mut first: HashMap<(u64, u64, usize, u8), &ScheduleResponse> = HashMap::new();
+    for (req, r) in reqs.iter().zip(&responses) {
+        let key = (r.kernel_hash, r.machine_fp, r.unwind, req.options.bits());
+        match first.get(&key) {
+            None => {
+                first.insert(key, r);
+            }
+            Some(f) => {
+                if !r.bits_eq(f) {
+                    violations.push(format!(
+                        "{} on {}: cached response diverged from cold run",
+                        r.kernel, r.machine
+                    ));
+                }
+            }
+        }
+    }
+    let hits = responses.iter().filter(|r| r.cache == CacheStatus::Hit).count();
+    let ddg_hits = responses.iter().filter(|r| r.cache == CacheStatus::DdgHit).count();
+    if repeat > 1 && hits == 0 {
+        violations.push("repeated sweep produced no schedule-cache hits".to_string());
+    }
+
+    let mut lat: Vec<u64> = responses.iter().map(|r| r.wall_us).collect();
+    lat.sort_unstable();
+    let hit_rate = hits as f64 / total.max(1) as f64;
+    let rps = total as f64 / wall.as_secs_f64().max(1e-9);
+    let stats = service.stats();
+
+    println!("service throughput over the mixed sweep");
+    println!("=======================================");
+    println!("requests:        {total} ({} unique cells)", first.len());
+    println!("wall time:       {:.2?}", wall);
+    println!("requests/sec:    {rps:.1}");
+    println!("cache hit rate:  {:.1}% ({hits} hits, {ddg_hits} ddg hits)", 100.0 * hit_rate);
+    println!(
+        "latency:         p50 {} us, p99 {} us, max {} us",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+        lat.last().copied().unwrap_or(0)
+    );
+
+    let json = Json::obj()
+        .field("bench", "service")
+        .field("trip_count", n as u64)
+        .field("repeat", repeat)
+        .field("requests", total)
+        .field("unique_cells", first.len())
+        .field("shards", service.shards())
+        .field("wall_s", wall.as_secs_f64())
+        .field("requests_per_sec", rps)
+        .field("cache_hits", hits)
+        .field("ddg_hits", ddg_hits)
+        .field("cache_hit_rate", hit_rate)
+        .field("p50_us", percentile(&lat, 0.50))
+        .field("p90_us", percentile(&lat, 0.90))
+        .field("p99_us", percentile(&lat, 0.99))
+        .field("max_us", lat.last().copied().unwrap_or(0))
+        .field("verification_failures", violations.len())
+        .field("service_stats", stats.to_json());
+    let path = "BENCH_service.json";
+    match std::fs::write(path, json.pretty()) {
+        Ok(()) => eprintln!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+
+    if violations.is_empty() {
+        println!(
+            "\nAll {total} responses verified, stall-free, template-clean; \
+             every cache hit bit-identical to its cold run."
+        );
+    } else {
+        println!("\nVIOLATIONS:");
+        for v in &violations {
+            println!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -20,16 +20,19 @@
 #![warn(missing_docs)]
 
 pub mod examples;
-pub mod json;
 pub mod machines;
+
+/// JSON serialization, re-exported from [`grip_json`] (the writer lived
+/// here before the service layer needed it without the bench crate).
+pub use grip_json as json;
 
 use grip_baselines::{post_pipeline, PostOptions};
 use grip_core::Resources;
 use grip_ir::Graph;
+use grip_json::Json;
 use grip_kernels::Kernel;
 use grip_pipeline::{perfect_pipeline, PipelineOptions, PipelineReport};
 use grip_vm::{EquivReport, Machine};
-use json::Json;
 
 /// One (kernel × FU) measurement.
 #[derive(Clone, Copy, Debug)]
@@ -162,23 +165,16 @@ pub fn measure_kernel(k: &Kernel, n: i64) -> Table1Row {
     }
 }
 
-/// Measure all kernels, one scoped-thread worker per kernel.
+/// Measure all kernels on the service worker pool, one shard per kernel
+/// (the same layout the old scoped-thread loop had, minus the loop).
 pub fn table1(n: i64, parallel: bool) -> Vec<Table1Row> {
     let ks = grip_kernels::kernels();
     if !parallel {
         return ks.iter().map(|k| measure_kernel(k, n)).collect();
     }
-    let mut rows: Vec<Option<Table1Row>> = (0..ks.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for k in ks {
-            handles.push(scope.spawn(move || measure_kernel(k, n)));
-        }
-        for (slot, h) in rows.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("kernel worker panicked"));
-        }
-    });
-    rows.into_iter().map(|r| r.expect("filled")).collect()
+    let pool: grip_service::pool::ShardedPool<&'static Kernel, Table1Row> =
+        grip_service::pool::ShardedPool::new(ks.len(), |_| (), move |_, _, k| measure_kernel(k, n));
+    pool.map_batch(ks.iter().enumerate())
 }
 
 /// Arithmetic mean of a column.

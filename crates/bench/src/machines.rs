@@ -38,6 +38,11 @@ pub struct MachineCell {
     pub verified: bool,
     /// Issue-template violations observed while simulating the schedule.
     pub template_violations: u64,
+    /// Delay rows the hazard post-pass had to insert — the padding the
+    /// scheduler's placement left behind (lower is better).
+    pub hazard_delay_rows: u64,
+    /// Ready ops the post-pass backfilled into that padding.
+    pub hazard_backfills: u64,
 }
 
 impl MachineCell {
@@ -54,6 +59,8 @@ impl MachineCell {
             .field("schedule_rows", self.schedule_rows)
             .field("verified", self.verified)
             .field("template_violations", self.template_violations)
+            .field("hazard_delay_rows", self.hazard_delay_rows)
+            .field("hazard_backfills", self.hazard_backfills)
     }
 }
 
@@ -113,28 +120,25 @@ pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
         schedule_rows: rep.steady.len(),
         verified,
         template_violations,
+        hazard_delay_rows: rep.stats.hazard_delay_rows,
+        hazard_backfills: rep.stats.hazard_backfills,
     }
 }
 
-/// Sweep every preset over every kernel, one scoped-thread worker per
-/// kernel.
+/// Sweep every preset over every kernel on the service worker pool, one
+/// shard per kernel (the same layout the old scoped-thread loop had).
 pub fn machine_table(n: i64, parallel: bool) -> Vec<MachineCell> {
     let ks = grip_kernels::kernels();
     let presets = MachineDesc::presets();
-    let sweep_kernel = |k: &'static Kernel| -> Vec<MachineCell> {
+    let sweep_kernel = move |k: &'static Kernel| -> Vec<MachineCell> {
         presets.iter().map(|&d| measure_machine(k, n, d)).collect()
     };
     if !parallel {
         return ks.iter().flat_map(sweep_kernel).collect();
     }
-    let mut rows: Vec<Vec<MachineCell>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ks.iter().map(|k| scope.spawn(move || sweep_kernel(k))).collect();
-        for h in handles {
-            rows.push(h.join().expect("kernel worker panicked"));
-        }
-    });
-    rows.into_iter().flatten().collect()
+    let pool: grip_service::pool::ShardedPool<&'static Kernel, Vec<MachineCell>> =
+        grip_service::pool::ShardedPool::new(ks.len(), |_| (), move |_, _, k| sweep_kernel(k));
+    pool.map_batch(ks.iter().enumerate()).into_iter().flatten().collect()
 }
 
 /// The whole sweep as one JSON document.

@@ -1,0 +1,68 @@
+//! The workspace's content hasher: 64-bit FNV-1a.
+//!
+//! One implementation, shared by every fingerprint domain — machine
+//! descriptions (`grip-machine`), program graphs and cache keys
+//! (`grip-service`) — so the constants and feeding conventions cannot
+//! silently diverge.
+
+/// 64-bit FNV-1a running hash.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Start at the FNV-1a offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feed raw bytes.
+    pub fn bytes(&mut self, bs: &[u8]) -> &mut Fnv {
+        for &b in bs {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// Feed one word as 8 little-endian bytes (platform-independent).
+    pub fn word(&mut self, w: u64) -> &mut Fnv {
+        self.bytes(&w.to_le_bytes())
+    }
+
+    /// Feed a string, length-prefixed so concatenations cannot collide by
+    /// sliding bytes across a boundary.
+    pub fn str(&mut self, s: &str) -> &mut Fnv {
+        self.word(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_fnv1a_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(Fnv::new().finish(), 0xcbf2_9ce4_8422_2325, "offset basis");
+        assert_eq!(Fnv::new().bytes(b"a").finish(), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv::new().bytes(b"foobar").finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_separates_string_boundaries() {
+        let ab_c = Fnv::new().str("ab").str("c").finish();
+        let a_bc = Fnv::new().str("a").str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+    }
+}

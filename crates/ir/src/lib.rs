@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod fnv;
 mod graph;
 mod ids;
 mod op;
@@ -30,6 +31,7 @@ mod tree;
 mod value;
 
 pub use builder::ProgramBuilder;
+pub use fnv::Fnv;
 pub use graph::{ArrayInfo, Graph, Instruction, LoopInfo, ValidateError};
 pub use ids::{ArrayId, NodeId, OpId, RegId};
 pub use op::{OpKind, Operand, Operation};

@@ -1,7 +1,7 @@
 //! The machine description: issue width, per-class slots, latencies.
 
 use crate::class::{FuClass, LatencyTable};
-use grip_ir::{Graph, NodeId, OpId, OpKind};
+use grip_ir::{Fnv, Graph, NodeId, OpId, OpKind};
 use std::fmt;
 
 /// Marker for an uncapped slot count or jump budget.
@@ -175,6 +175,28 @@ impl MachineDesc {
         self.latency.of(kind)
     }
 
+    /// Stable content fingerprint of the machine: a 64-bit FNV-1a hash of
+    /// every field that influences scheduling (width, jump budget, class
+    /// slots, latency table) — the **name is deliberately excluded**, so an
+    /// inline description with a preset's parameters addresses the same
+    /// cached schedules as the preset itself. The hash is a pure function
+    /// of the field values (no pointers, no platform-dependent layout), so
+    /// it is stable across runs, processes, and machines — fit for
+    /// content-addressed cache keys and shard routing.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(self.width as u64);
+        h.word(self.cjs as u64);
+        for &s in &self.class_slots {
+            h.word(s as u64);
+        }
+        let l = &self.latency;
+        for v in [l.alu, l.fpu, l.fpu_long, l.mem, l.branch] {
+            h.word(u64::from(v));
+        }
+        h.finish()
+    }
+
     /// The deepest latency — how far back the scheduler's hazard scan and
     /// the simulator's scoreboard have to look.
     #[inline]
@@ -294,5 +316,35 @@ impl fmt::Display for MachineDesc {
             }
         }
         write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        // Same parameters under a different name hash identically.
+        let mut renamed = MachineDesc::epic8();
+        renamed.name = "custom";
+        assert_eq!(renamed.fingerprint(), MachineDesc::epic8().fingerprint());
+        // Every preset is distinct from every other.
+        let fps: Vec<u64> = MachineDesc::presets().iter().map(|d| d.fingerprint()).collect();
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b, "preset fingerprints must differ");
+            }
+        }
+        // Any field change moves the hash.
+        let base = MachineDesc::clustered();
+        let mut v = base;
+        v.latency.mem = 5;
+        assert_ne!(v.fingerprint(), base.fingerprint());
+        let mut w = base;
+        w.class_slots[0] = 3;
+        assert_ne!(w.fingerprint(), base.fingerprint());
+        // Stable across calls (pure function of the fields).
+        assert_eq!(base.fingerprint(), MachineDesc::clustered().fingerprint());
     }
 }

@@ -85,18 +85,67 @@ impl PipelineReport {
     }
 }
 
+/// The machine-independent product of the pre-scheduling stages: the
+/// unwound (and induction-simplified) window plus its dependence graph.
+///
+/// Preparation depends only on `(program, unwind, fold_inductions)` — the
+/// machine first matters at [`schedule_window`] — so a `PreparedWindow`
+/// (with its graph snapshot) can be cached and replayed against many
+/// machine descriptions. The DDG is keyed by op ids, which graph cloning
+/// preserves, so one `Ddg` serves every clone of the prepared graph.
+pub struct PreparedWindow {
+    /// Unwound-window bookkeeping (rows, ancestry, body length).
+    pub window: Window,
+    /// Dependence graph of the prepared program.
+    pub ddg: Ddg,
+}
+
+/// Stage 1 of [`perfect_pipeline`]: unwind the canonical loop of `g` by
+/// `unwind_factor`, optionally fold the unwound induction arithmetic, and
+/// build the dependence graph. Mutates `g` into the pre-scheduling window
+/// form; scheduling itself happens in [`schedule_window`].
+pub fn prepare(g: &mut Graph, unwind_factor: usize, fold_inductions: bool) -> PreparedWindow {
+    let window = unwind(g, unwind_factor);
+    if fold_inductions {
+        simplify_inductions(g, &window.rows);
+    }
+    let ddg = Ddg::build(g, g.entry);
+    PreparedWindow { window, ddg }
+}
+
 /// Run the full Perfect Pipelining stack on the canonical loop of `g`,
 /// in place. The graph remains executable (and observationally equivalent
 /// to the input) at every stage; `try_roll` failures leave the scheduled
 /// window untouched.
 pub fn perfect_pipeline(g: &mut Graph, opts: PipelineOptions) -> PipelineReport {
-    let window = unwind(g, opts.unwind);
-    if opts.fold_inductions {
-        simplify_inductions(g, &window.rows);
-    }
-    let ddg = Ddg::build(g, g.entry);
-    let mut ctx = Ctx::new(g, &ddg);
-    let ranks = RankTable::new(&ddg, true);
+    let PreparedWindow { window, ddg } = prepare(g, opts.unwind, opts.fold_inductions);
+    schedule_window(g, window, &ddg, opts)
+}
+
+/// Stage 2 of [`perfect_pipeline`]: GRiP-schedule a prepared window under
+/// `opts.resources`, detect the steady pattern, and optionally re-roll.
+/// `g` must be the (possibly cloned) graph the window was prepared on;
+/// `opts.unwind`/`opts.fold_inductions` are ignored here — they were
+/// consumed by [`prepare`].
+pub fn schedule_window(
+    g: &mut Graph,
+    window: Window,
+    ddg: &Ddg,
+    opts: PipelineOptions,
+) -> PipelineReport {
+    let mut ctx = Ctx::new(g, ddg);
+    // Latency-aware ranks: chains weighted by issue latency, and — on
+    // multi-cycle machines only — the iteration-major stipulation
+    // coarsened to pairs, so a long-latency chain from iteration i+1 can
+    // start under iteration i's shadow instead of forcing the hazard
+    // post-pass to pad the gap afterwards. Unit-latency machines (every
+    // `uniform` preset) get the paper's hop-count ranks bit-for-bit.
+    let ranks = {
+        let desc = opts.resources.desc();
+        let group = if desc.max_latency() > 1 { 2 } else { 1 };
+        let gr: &Graph = g;
+        RankTable::with_weights_grouped(ddg, true, group, |op| desc.latency_of(gr.op(op).kind))
+    };
     let cfg = GripConfig {
         resources: opts.resources,
         gap_prevention: opts.gap_prevention,

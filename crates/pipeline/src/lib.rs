@@ -19,7 +19,9 @@ mod roll;
 mod simplify;
 mod unwind;
 
-pub use driver::{perfect_pipeline, PipelineOptions, PipelineReport};
+pub use driver::{
+    perfect_pipeline, prepare, schedule_window, PipelineOptions, PipelineReport, PreparedWindow,
+};
 pub use pattern::{detect, estimate_cpi, fu_lower_bound, steady_rows, Pattern};
 pub use roll::{roll, RollError, RollOutcome};
 pub use simplify::simplify_inductions;

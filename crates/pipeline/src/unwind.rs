@@ -19,7 +19,11 @@ use grip_ir::{Graph, LoopInfo, NodeId, OpId, OpKind, Operand, RegId, Tree, TreeP
 use std::collections::HashMap;
 
 /// The unwound window plus the bookkeeping pattern detection needs.
-#[derive(Debug)]
+///
+/// `Clone` exists for the service layer's DDG cache: a cached window is
+/// cloned per request and handed (with a clone of its graph) to
+/// [`crate::schedule_window`].
+#[derive(Clone, Debug)]
 pub struct Window {
     /// Window rows in chain order: iteration 0's first node through the
     /// last iteration's latch.

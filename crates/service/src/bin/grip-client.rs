@@ -1,0 +1,237 @@
+//! `grip-client` — scripted load for `grip-serve`.
+//!
+//! Three modes, composable into shell pipelines:
+//!
+//! ```text
+//! grip-client --emit [--repeat K] [--n N] [--seed S]
+//!     print the mixed sweep (all presets × LL1–LL14, repeated K times,
+//!     shuffled) as JSON-lines requests on stdout
+//!
+//! grip-client --check [--expect-hits]
+//!     read responses from stdin; fail (exit 1) on any !ok, unverified,
+//!     stalled, or template-violating response — and, with
+//!     --expect-hits, if no response was served from the schedule cache;
+//!     print a throughput/latency summary
+//!
+//! grip-client --addr HOST:PORT [--repeat K] [--n N] [--seed S]
+//!     drive a TCP server with the same sweep and check + summarize the
+//!     responses
+//! ```
+//!
+//! CI runs `grip-client --emit | grip-serve | grip-client --check
+//! --expect-hits` as the protocol smoke test.
+
+use grip_json::Json;
+use grip_service::workload::{mixed_workload, percentile};
+use grip_service::{proto, CacheStatus, ScheduleResponse};
+use std::io::{BufRead, BufWriter, Write};
+
+struct Opts {
+    mode: Mode,
+    repeat: usize,
+    n: i64,
+    seed: u64,
+    expect_hits: bool,
+}
+
+enum Mode {
+    Emit,
+    Check,
+    Addr(String),
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: grip-client (--emit | --check [--expect-hits] | --addr HOST:PORT) \
+         [--repeat K] [--n N] [--seed S]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = None;
+    let mut opts = Opts { mode: Mode::Check, repeat: 3, n: 48, seed: 0x9fb3, expect_hits: false };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--emit" => mode = Some(Mode::Emit),
+            "--check" => mode = Some(Mode::Check),
+            "--addr" => mode = Some(Mode::Addr(it.next().cloned().unwrap_or_else(|| usage()))),
+            "--repeat" => {
+                opts.repeat = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--n" => opts.n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => {
+                opts.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--expect-hits" => opts.expect_hits = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    opts.mode = mode.unwrap_or_else(|| usage());
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    match &opts.mode {
+        Mode::Emit => emit(&opts),
+        Mode::Check => {
+            let stdin = std::io::stdin();
+            let responses = read_responses(stdin.lock());
+            finish(&opts, &responses, None);
+        }
+        Mode::Addr(addr) => drive_tcp(&opts, addr),
+    }
+}
+
+fn emit(opts: &Opts) {
+    let stdout = std::io::stdout();
+    let mut w = BufWriter::new(stdout.lock());
+    for req in mixed_workload(opts.n, opts.repeat, opts.seed) {
+        writeln!(w, "{}", proto::request_to_json(&req).line()).expect("stdout");
+    }
+    w.flush().expect("stdout");
+}
+
+fn read_responses(reader: impl BufRead) -> Vec<ScheduleResponse> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line.expect("read responses");
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let j = Json::parse(text).unwrap_or_else(|e| {
+            eprintln!("[grip-client] response is not JSON ({e}): {text}");
+            std::process::exit(1);
+        });
+        if j.get("cmd").is_some() {
+            continue; // stats frames pass through unchecked
+        }
+        match proto::response_from_json(&j) {
+            Ok(r) => out.push(r),
+            Err(e) => {
+                eprintln!("[grip-client] bad response line ({e}): {text}");
+                std::process::exit(1);
+            }
+        }
+    }
+    out
+}
+
+fn drive_tcp(opts: &Opts, addr: &str) {
+    let reqs = mixed_workload(opts.n, opts.repeat, opts.seed);
+    let total = reqs.len();
+    let stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("[grip-client] cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+    let t0 = std::time::Instant::now();
+    // Writer thread streams every request; the server pipelines across
+    // its shards and answers in order.
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(stream.try_clone().expect("clone stream"));
+        for req in reqs {
+            writeln!(w, "{}", proto::request_to_json(&req).line()).expect("send request");
+        }
+        w.flush().expect("flush requests");
+        // Dropping a try_clone'd handle does NOT close the socket (the
+        // reader clone keeps the fd alive); send an explicit write-side
+        // FIN so the server sees EOF once everything is answered.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    });
+    let mut responses = Vec::with_capacity(total);
+    let mut lines = reader.lines();
+    while responses.len() < total {
+        match lines.next() {
+            Some(Ok(line)) => {
+                let text = line.trim();
+                if text.is_empty() {
+                    continue;
+                }
+                let j = Json::parse(text).unwrap_or_else(|e| {
+                    eprintln!("[grip-client] response is not JSON ({e}): {text}");
+                    std::process::exit(1);
+                });
+                if j.get("cmd").is_some() {
+                    continue;
+                }
+                responses.push(proto::response_from_json(&j).unwrap_or_else(|e| {
+                    eprintln!("[grip-client] bad response ({e}): {text}");
+                    std::process::exit(1);
+                }));
+            }
+            _ => {
+                eprintln!(
+                    "[grip-client] connection closed after {}/{total} responses",
+                    responses.len()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    writer.join().expect("writer thread");
+    finish(opts, &responses, Some(t0.elapsed()));
+}
+
+fn finish(opts: &Opts, responses: &[ScheduleResponse], wall: Option<std::time::Duration>) {
+    let mut violations = 0usize;
+    for r in responses {
+        let bad = !r.ok || !r.verified || r.sched_stalls != 0 || r.template_violations != 0;
+        if bad {
+            violations += 1;
+            eprintln!(
+                "[grip-client] VIOLATION {} on {}: ok={} verified={} stalls={} templates={} {}",
+                r.kernel,
+                r.machine,
+                r.ok,
+                r.verified,
+                r.sched_stalls,
+                r.template_violations,
+                r.error.as_deref().unwrap_or(""),
+            );
+        }
+    }
+    let hits = responses.iter().filter(|r| r.cache == CacheStatus::Hit).count();
+    let ddg_hits = responses.iter().filter(|r| r.cache == CacheStatus::DdgHit).count();
+    let mut lat: Vec<u64> = responses.iter().map(|r| r.wall_us).collect();
+    lat.sort_unstable();
+    let summary = Json::obj()
+        .field("responses", responses.len())
+        .field("violations", violations)
+        .field("cache_hits", hits)
+        .field("ddg_hits", ddg_hits)
+        .field(
+            "hit_rate",
+            if responses.is_empty() { 0.0 } else { hits as f64 / responses.len() as f64 },
+        )
+        .field("p50_us", percentile(&lat, 0.50))
+        .field("p99_us", percentile(&lat, 0.99));
+    let summary = match wall {
+        Some(d) => summary.field("wall_s", d.as_secs_f64()).field(
+            "requests_per_sec",
+            if d.as_secs_f64() > 0.0 { responses.len() as f64 / d.as_secs_f64() } else { 0.0 },
+        ),
+        None => summary,
+    };
+    println!("{}", summary.line());
+    if responses.is_empty() {
+        eprintln!("[grip-client] no responses seen");
+        std::process::exit(1);
+    }
+    if violations > 0 {
+        std::process::exit(1);
+    }
+    if opts.expect_hits && hits == 0 {
+        eprintln!("[grip-client] expected schedule-cache hits, saw none");
+        std::process::exit(1);
+    }
+    eprintln!("[grip-client] OK: {} responses, {hits} cache hits, 0 violations", responses.len());
+}

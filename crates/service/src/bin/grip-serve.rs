@@ -1,0 +1,84 @@
+//! `grip-serve` — the scheduling server.
+//!
+//! Speaks the JSON-lines protocol (one request per line, one response per
+//! line, request order preserved; see `grip_service::proto`).
+//!
+//! ```text
+//! grip-serve                      # serve stdin → stdout until EOF
+//! grip-serve --tcp 127.0.0.1:7411 # serve TCP connections forever
+//!   --shards N                    # worker shards (default: cores, ≤ 8)
+//!   --ddg-cache N                 # prepared-window entries per shard
+//!   --sched-cache N               # schedule entries per shard
+//! ```
+//!
+//! The stdin mode prints aggregate cache statistics to stderr at EOF, so
+//! `emit | grip-serve | check` pipelines get a throughput summary for
+//! free.
+
+use grip_service::{proto, Service, ServiceConfig};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!("usage: grip-serve [--tcp ADDR] [--shards N] [--ddg-cache N] [--sched-cache N]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServiceConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> usize {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--{what} needs a number");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--tcp" => tcp = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--shards" => cfg.shards = num("shards"),
+            "--ddg-cache" => cfg.engine.ddg_cache_cap = num("ddg-cache"),
+            "--sched-cache" => cfg.engine.sched_cache_cap = num("sched-cache"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    let service = Service::new(cfg);
+    eprintln!("[grip-serve] {} shards", service.shards());
+
+    match tcp {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr).unwrap_or_else(|e| {
+                eprintln!("[grip-serve] cannot bind {addr}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[grip-serve] listening on {}", listener.local_addr().unwrap());
+            if let Err(e) = proto::serve_tcp(Arc::new(service), listener) {
+                eprintln!("[grip-serve] accept loop failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            // The writer moves to the server's ordered-output thread, so
+            // hand it the (Send) handle rather than a lock guard.
+            let stdout = std::io::BufWriter::new(std::io::stdout());
+            let summary = proto::serve_lines(&service, stdin.lock(), stdout).unwrap_or_else(|e| {
+                eprintln!("[grip-serve] stream error: {e}");
+                std::process::exit(1);
+            });
+            let stats = service.stats();
+            eprintln!(
+                "[grip-serve] served {} (rejected {}): {}",
+                summary.served,
+                summary.rejected,
+                stats.to_json().line()
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! A small bounded LRU map with hit/miss/eviction counters.
+//!
+//! Each worker shard owns its caches outright (sharding by content
+//! fingerprint gives cache affinity for free), so there is no interior
+//! locking here — just a `HashMap` plus a logical clock. Capacity is
+//! enforced on insert by evicting the least-recently-used entry; the
+//! counters feed the service's aggregate statistics.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Bounded least-recently-used cache.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, Entry<V>>,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    v: V,
+    used: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// An empty cache holding at most `cap` entries (`cap == 0` disables
+    /// caching: every lookup misses, every insert is dropped).
+    pub fn new(cap: usize) -> Lru<K, V> {
+        Lru { cap, tick: 0, map: HashMap::new(), hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Look up `k`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, k: &K) -> Option<&V> {
+        self.tick += 1;
+        match self.map.get_mut(k) {
+            Some(e) => {
+                e.used = self.tick;
+                self.hits += 1;
+                Some(&e.v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `k → v`, evicting the least-recently-used entry if the cache
+    /// is full. Replacing an existing key is not an eviction.
+    pub fn insert(&mut self, k: K, v: V) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&k) && self.map.len() >= self.cap {
+            // O(n) victim scan; caches here hold at most a few hundred
+            // entries, far below the point where a heap would pay off.
+            if let Some(victim) =
+                self.map.iter().min_by_key(|(_, e)| e.used).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(k, Entry { v, used: self.tick });
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used_and_counts() {
+        let mut c: Lru<u32, &str> = Lru::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(&1), Some(&"a")); // 1 is now fresher than 2
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+        assert_eq!((c.hits, c.misses, c.evictions), (3, 1, 1));
+        // Overwriting a live key is not an eviction.
+        c.insert(3, "c2");
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.get(&3), Some(&"c2"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: Lru<u32, u32> = Lru::new(0);
+        c.insert(1, 10);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.misses, 1);
+    }
+}

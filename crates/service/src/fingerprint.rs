@@ -1,0 +1,63 @@
+//! Content hashing for cache keys and shard routing.
+//!
+//! Everything the service caches is addressed by *content*, not by name:
+//! a kernel is identified by a hash of its sequential program graph (which
+//! folds in the trip count — the loop bound is a constant in the graph),
+//! and a machine by [`grip_machine::MachineDesc::fingerprint`]. Two
+//! requests that describe the same computation hit the same cache lines no
+//! matter how they were spelled. All digests come from the workspace's
+//! one FNV-1a implementation, [`grip_ir::Fnv`].
+
+use grip_ir::Graph;
+
+pub use grip_ir::Fnv;
+
+/// Stable content fingerprint of a sequential program graph.
+///
+/// Hashes the full instruction listing (ops, operands, structure, register
+/// names — [`grip_ir::print::dump`] is deterministic because every id is
+/// allocation-ordered), the array declarations, and the `live_out` set.
+/// Graphs built by the same builder calls hash identically across
+/// processes; any change to an op, bound, or array moves the hash.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut h = Fnv::new();
+    h.str(&grip_ir::print::dump(g));
+    for a in g.arrays() {
+        h.str(&a.name).word(a.len as u64).word(match a.elem {
+            grip_ir::ElemKind::F => 0,
+            grip_ir::ElemKind::I => 1,
+        });
+    }
+    for &r in &g.live_out {
+        h.word(r.index() as u64);
+    }
+    h.finish()
+}
+
+/// Render a fingerprint the way the wire protocol spells it.
+pub fn hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// Parse the wire spelling back ([`hex`]'s inverse).
+pub fn parse_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_graphs_hash_stably_and_distinctly() {
+        let ks = grip_kernels::kernels();
+        let a = graph_fingerprint(&(ks[0].build)(40));
+        let a2 = graph_fingerprint(&(ks[0].build)(40));
+        assert_eq!(a, a2, "same builder, same hash");
+        let b = graph_fingerprint(&(ks[0].build)(41));
+        assert_ne!(a, b, "trip count is part of the content");
+        let c = graph_fingerprint(&(ks[1].build)(40));
+        assert_ne!(a, c, "different kernels differ");
+        assert_eq!(parse_hex(&hex(a)), Some(a));
+    }
+}

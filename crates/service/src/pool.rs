@@ -1,0 +1,177 @@
+//! The sharded worker pool: long-lived `std::thread` workers, one queue
+//! per shard.
+//!
+//! Jobs are routed to an explicit shard; each worker owns per-shard state
+//! (built once on its own thread by a state factory), so shard-affine
+//! routing makes that state — the service's schedule and DDG caches — hot
+//! without any cross-shard locking. Results come back over per-job
+//! `mpsc` channels, so callers can block ([`ShardedPool::run_on`]), batch
+//! in submission order ([`ShardedPool::map_batch`]), or pipeline
+//! ([`ShardedPool::submit_to`]).
+//!
+//! The pool is also the workspace's one parallel-map substrate: the bench
+//! sweeps that used to carry their own scoped-thread loops now run on it
+//! (one shard per kernel reproduces their old one-worker-per-kernel
+//! layout).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A fixed set of worker threads with one FIFO queue per shard.
+pub struct ShardedPool<J: Send + 'static, R: Send + 'static> {
+    inner: Arc<Inner<J, R>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct Inner<J, R> {
+    shards: Vec<ShardQueue<J, R>>,
+    shutdown: AtomicBool,
+}
+
+struct ShardQueue<J, R> {
+    q: Mutex<VecDeque<(J, mpsc::Sender<R>)>>,
+    cv: Condvar,
+}
+
+impl<J: Send + 'static, R: Send + 'static> ShardedPool<J, R> {
+    /// Spawn `shards` workers. `state(i)` runs **on worker `i`'s thread**
+    /// to build its private state; `work(i, &mut state, job)` handles one
+    /// job. Worker panics poison only their own shard's jobs (the caller's
+    /// receiver disconnects); the pool itself keeps serving other shards.
+    /// The blocking helpers ([`ShardedPool::run_on`] /
+    /// [`ShardedPool::map_batch`]) surface such a loss as a panic in the
+    /// *caller*; callers that must outlive worker crashes (the protocol
+    /// server) use [`ShardedPool::submit_to`] and handle the recv error.
+    pub fn new<S, FS, FW>(shards: usize, state: FS, work: FW) -> ShardedPool<J, R>
+    where
+        S: 'static,
+        FS: Fn(usize) -> S + Send + Sync + 'static,
+        FW: Fn(usize, &mut S, J) -> R + Send + Sync + 'static,
+    {
+        assert!(shards >= 1, "a pool needs at least one shard");
+        let inner = Arc::new(Inner {
+            shards: (0..shards)
+                .map(|_| ShardQueue { q: Mutex::new(VecDeque::new()), cv: Condvar::new() })
+                .collect(),
+            shutdown: AtomicBool::new(false),
+        });
+        let state = Arc::new(state);
+        let work = Arc::new(work);
+        let handles = (0..shards)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let state = Arc::clone(&state);
+                let work = Arc::clone(&work);
+                std::thread::Builder::new()
+                    .name(format!("grip-shard-{i}"))
+                    .spawn(move || {
+                        let mut s = state(i);
+                        let shard = &inner.shards[i];
+                        loop {
+                            let job = {
+                                let mut q = shard.q.lock().expect("shard queue poisoned");
+                                loop {
+                                    if let Some(j) = q.pop_front() {
+                                        break Some(j);
+                                    }
+                                    if inner.shutdown.load(Ordering::Acquire) {
+                                        break None;
+                                    }
+                                    q = shard.cv.wait(q).expect("shard queue poisoned");
+                                }
+                            };
+                            match job {
+                                Some((j, tx)) => {
+                                    // A dropped receiver just means the
+                                    // caller stopped waiting.
+                                    let _ = tx.send(work(i, &mut s, j));
+                                }
+                                None => return,
+                            }
+                        }
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardedPool { inner, handles }
+    }
+
+    /// Number of shards (== worker threads).
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Enqueue `job` on `shard` (modulo the shard count) and return the
+    /// receiver its result will arrive on.
+    pub fn submit_to(&self, shard: usize, job: J) -> mpsc::Receiver<R> {
+        let (tx, rx) = mpsc::channel();
+        let s = &self.inner.shards[shard % self.shards()];
+        s.q.lock().expect("shard queue poisoned").push_back((job, tx));
+        s.cv.notify_one();
+        rx
+    }
+
+    /// Submit and block for the result.
+    pub fn run_on(&self, shard: usize, job: J) -> R {
+        self.submit_to(shard, job).recv().expect("shard worker dropped the job")
+    }
+
+    /// Submit every `(shard, job)` pair up front, then collect results in
+    /// submission order — the parallel-map the bench sweeps run on.
+    pub fn map_batch(&self, jobs: impl IntoIterator<Item = (usize, J)>) -> Vec<R> {
+        let rxs: Vec<mpsc::Receiver<R>> =
+            jobs.into_iter().map(|(shard, job)| self.submit_to(shard, job)).collect();
+        rxs.into_iter().map(|rx| rx.recv().expect("shard worker dropped the job")).collect()
+    }
+}
+
+impl<J: Send + 'static, R: Send + 'static> Drop for ShardedPool<J, R> {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for s in &self.inner.shards {
+            s.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_batch_preserves_submission_order() {
+        let pool: ShardedPool<u64, u64> = ShardedPool::new(4, |_| (), |_, _, j| j * 2);
+        let out = pool.map_batch((0..100u64).map(|j| ((j % 4) as usize, j)));
+        assert_eq!(out, (0..100u64).map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_state_is_private_and_persistent() {
+        // Each shard counts its own jobs; affine routing must keep the
+        // counts disjoint and cumulative.
+        let pool: ShardedPool<(), usize> = ShardedPool::new(
+            2,
+            |_| 0usize,
+            |_, seen, ()| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(pool.run_on(0, ()), 1);
+        assert_eq!(pool.run_on(0, ()), 2);
+        assert_eq!(pool.run_on(1, ()), 1, "shard 1 has its own state");
+        assert_eq!(pool.run_on(5, ()), 2, "shard index wraps modulo the pool");
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool: ShardedPool<u32, u32> = ShardedPool::new(3, |_| (), |_, _, j| j);
+        let _ = pool.map_batch([(0, 1u32), (1, 2), (2, 3)]);
+        drop(pool); // must not hang
+    }
+}

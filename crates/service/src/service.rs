@@ -1,0 +1,185 @@
+//! The long-lived scheduling service: a [`ShardedPool`] of [`Engine`]s
+//! plus content-fingerprint routing.
+//!
+//! Requests are routed by `hash(kernel name, trip count, machine
+//! fingerprint)`, so every request for the same (kernel, machine) lands on
+//! the shard whose caches already hold its prepared window and schedule —
+//! cache affinity without any cross-shard coordination.
+
+use crate::engine::{CacheCounters, Engine, EngineConfig};
+use crate::fingerprint::Fnv;
+use crate::pool::ShardedPool;
+use crate::types::{ScheduleRequest, ScheduleResponse};
+use grip_json::Json;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Service sizing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceConfig {
+    /// Worker shards; 0 (the default) picks the available parallelism
+    /// (capped at 8).
+    pub shards: usize,
+    /// Per-shard engine/cache sizing.
+    pub engine: EngineConfig,
+}
+
+/// Aggregate service statistics (summed over shards).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Shard count.
+    pub shards: usize,
+    /// Summed cache counters.
+    pub counters: CacheCounters,
+}
+
+impl ServiceStats {
+    /// Serialize for the protocol's `{"cmd":"stats"}` answer and the
+    /// bench report.
+    pub fn to_json(&self) -> Json {
+        let c = &self.counters;
+        Json::obj()
+            .field("shards", self.shards)
+            .field("processed", c.processed)
+            .field("sched_hits", c.sched_hits)
+            .field("sched_misses", c.sched_misses)
+            .field("sched_evictions", c.sched_evictions)
+            .field("ddg_hits", c.ddg_hits)
+            .field("ddg_misses", c.ddg_misses)
+            .field("ddg_evictions", c.ddg_evictions)
+            .field("hit_rate", c.hit_rate())
+    }
+}
+
+/// A running scheduling service.
+pub struct Service {
+    pool: ShardedPool<ScheduleRequest, ScheduleResponse>,
+    counters: Arc<Vec<Mutex<CacheCounters>>>,
+}
+
+impl Service {
+    /// Spin up the worker shards.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        let shards = if cfg.shards > 0 {
+            cfg.shards
+        } else {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8)
+        };
+        let counters: Arc<Vec<Mutex<CacheCounters>>> =
+            Arc::new((0..shards).map(|_| Mutex::new(CacheCounters::default())).collect());
+        let engine_cfg = cfg.engine;
+        let counters_w = Arc::clone(&counters);
+        let pool = ShardedPool::new(
+            shards,
+            move |_| Engine::new(engine_cfg),
+            move |shard, engine: &mut Engine, req: ScheduleRequest| {
+                let resp = engine.process(shard, &req);
+                *counters_w[shard].lock().expect("counter lock poisoned") = engine.counters();
+                resp
+            },
+        );
+        Service { pool, counters }
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.pool.shards()
+    }
+
+    /// The shard a request routes to: content-hash of (kernel, n, machine
+    /// fingerprint), so identical work always lands where its cache lines
+    /// live. Unresolvable machines route by label — the shard only
+    /// matters for affinity, and the engine reports the error either way.
+    pub fn route(&self, req: &ScheduleRequest) -> usize {
+        let mut h = Fnv::new();
+        h.str(&req.kernel).word(req.n as u64);
+        match req.machine.resolve() {
+            Ok(desc) => h.word(desc.fingerprint()),
+            Err(_) => h.str(&req.machine.label()),
+        };
+        (h.finish() % self.shards() as u64) as usize
+    }
+
+    /// Schedule one request, blocking for the response.
+    pub fn submit(&self, req: ScheduleRequest) -> ScheduleResponse {
+        let shard = self.route(&req);
+        self.pool.run_on(shard, req)
+    }
+
+    /// Enqueue one request; the response arrives on the returned channel.
+    pub fn submit_async(&self, req: ScheduleRequest) -> mpsc::Receiver<ScheduleResponse> {
+        let shard = self.route(&req);
+        self.pool.submit_to(shard, req)
+    }
+
+    /// Schedule a batch, all shards in flight, responses in request order.
+    pub fn submit_batch(&self, reqs: Vec<ScheduleRequest>) -> Vec<ScheduleResponse> {
+        let routed: Vec<(usize, ScheduleRequest)> =
+            reqs.into_iter().map(|r| (self.route(&r), r)).collect();
+        self.pool.map_batch(routed)
+    }
+
+    /// Aggregate statistics over all shards.
+    pub fn stats(&self) -> ServiceStats {
+        let mut sum = CacheCounters::default();
+        for c in self.counters.iter() {
+            sum.add(&c.lock().expect("counter lock poisoned"));
+        }
+        ServiceStats { shards: self.shards(), counters: sum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MachineSpec;
+
+    fn req(kernel: &str, n: i64, machine: &str) -> ScheduleRequest {
+        ScheduleRequest::new(kernel, n, MachineSpec::Preset(machine.to_string()))
+    }
+
+    #[test]
+    fn batch_over_shards_preserves_order_and_counts() {
+        let svc = Service::new(ServiceConfig { shards: 3, engine: EngineConfig::default() });
+        let reqs: Vec<ScheduleRequest> = ["LL1", "LL3", "LL12"]
+            .iter()
+            .flat_map(|k| ["uniform4", "clustered"].iter().map(|m| req(k, 12, m)))
+            .collect();
+        let out = svc.submit_batch(reqs.clone());
+        assert_eq!(out.len(), 6);
+        for (q, r) in reqs.iter().zip(&out) {
+            assert_eq!(q.kernel, r.kernel);
+            assert!(r.ok && r.verified, "{}/{}: {:?}", r.kernel, r.machine, r.error);
+            assert_eq!(r.sched_stalls, 0);
+        }
+        // Resubmitting the same batch is all schedule-cache hits, served
+        // by the same shards (affinity), bit-identical.
+        let again = svc.submit_batch(reqs);
+        for (a, b) in out.iter().zip(&again) {
+            assert_eq!(b.cache, crate::types::CacheStatus::Hit);
+            assert_eq!(a.shard, b.shard, "affine routing");
+            assert!(a.bits_eq(b));
+        }
+        let st = svc.stats();
+        assert_eq!(st.counters.processed, 12);
+        assert_eq!(st.counters.sched_hits, 6);
+        assert!((st.counters.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn routing_is_content_addressed() {
+        let svc = Service::new(ServiceConfig { shards: 5, engine: EngineConfig::default() });
+        // An inline spelling of epic8 routes to the preset's shard.
+        let preset = req("LL2", 20, "epic8");
+        let inline = ScheduleRequest::new(
+            "LL2",
+            20,
+            MachineSpec::Inline(crate::types::inline_machine(
+                8,
+                None,
+                [Some(4), Some(4), Some(2)],
+                grip_machine::LatencyTable { alu: 1, fpu: 4, fpu_long: 16, mem: 2, branch: 1 },
+            )),
+        );
+        assert_eq!(svc.route(&preset), svc.route(&inline));
+    }
+}

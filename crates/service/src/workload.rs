@@ -1,0 +1,91 @@
+//! Deterministic workload generation: the mixed sweep every load driver
+//! (the `service` bench, `grip-client`, CI) shares.
+
+use crate::types::{MachineSpec, ScheduleRequest};
+
+/// The preset labels of the standard sweep (the same six machines as
+/// `BENCH_machines.json`).
+pub const SWEEP_PRESETS: [&str; 6] =
+    ["uniform2", "uniform4", "uniform8", "clustered", "mem_bound", "epic8"];
+
+/// SplitMix64: the workspace's standard seedable PRNG step.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Nearest-rank percentile over an already-sorted latency sample
+/// (`p` in 0..=1; 0 for an empty sample). Shared by every load driver
+/// that reports p50/p99.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The mixed sweep: every sweep preset × every Livermore kernel, repeated
+/// `repeat` times, deterministically shuffled by `seed`, ids `1..=len`.
+/// With `repeat` ≥ 2 the stream mixes cold and cache-hit requests the way
+/// steady service traffic would.
+pub fn mixed_workload(n: i64, repeat: usize, seed: u64) -> Vec<ScheduleRequest> {
+    let mut reqs: Vec<ScheduleRequest> = Vec::new();
+    for _ in 0..repeat {
+        for k in grip_kernels::kernels() {
+            for preset in SWEEP_PRESETS {
+                reqs.push(ScheduleRequest::new(k.name, n, MachineSpec::Preset(preset.into())));
+            }
+        }
+    }
+    // Fisher–Yates with a deterministic stream.
+    let mut state = seed ^ 0x5851_f42d_4c95_7f2d;
+    for i in (1..reqs.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        reqs.swap(i, j);
+    }
+    for (i, r) in reqs.iter_mut().enumerate() {
+        r.id = i as u64 + 1;
+    }
+    reqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_complete() {
+        let a = mixed_workload(48, 2, 7);
+        let b = mixed_workload(48, 2, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2 * 14 * SWEEP_PRESETS.len());
+        // Every (kernel, preset) pair appears exactly `repeat` times.
+        let mut counts = std::collections::HashMap::new();
+        for r in &a {
+            *counts.entry((r.kernel.clone(), r.machine.label())).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 14 * SWEEP_PRESETS.len());
+        assert!(counts.values().all(|&c| c == 2));
+        // Ids are 1..=len, and a different seed reorders.
+        assert_eq!(a.iter().map(|r| r.id).max(), Some(a.len() as u64));
+        let c = mixed_workload(48, 2, 8);
+        assert_ne!(
+            a.iter().map(|r| (r.kernel.clone(), r.machine.label())).collect::<Vec<_>>(),
+            c.iter().map(|r| (r.kernel.clone(), r.machine.label())).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 0.5), 51);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+    }
+}

@@ -1,0 +1,144 @@
+//! Cache-correctness properties: every cache-hit response is
+//! bit-identical (schedule + stats + VM final-state digest) to a cold
+//! run, and the sharded service is deterministic under concurrency.
+
+use grip_machine::LatencyTable;
+use grip_service::workload::splitmix64;
+use grip_service::{
+    inline_machine, CacheStatus, Engine, EngineConfig, EngineOptions, MachineSpec, ScheduleRequest,
+    Service, ServiceConfig,
+};
+
+/// A random request over a small but diverse space: 6 kernels, presets +
+/// inline machines, two trip counts, assorted unwinds and option sets.
+fn random_request(state: &mut u64, id: u64) -> ScheduleRequest {
+    let kernels = ["LL1", "LL3", "LL5", "LL9", "LL12", "LL14"];
+    let kernel = kernels[(splitmix64(state) % kernels.len() as u64) as usize];
+    let machine = match splitmix64(state) % 6 {
+        0 => MachineSpec::Preset("uniform4".into()),
+        1 => MachineSpec::Preset("clustered".into()),
+        2 => MachineSpec::Preset("mem_bound".into()),
+        3 => MachineSpec::Preset("epic8".into()),
+        4 => MachineSpec::Inline(inline_machine(
+            4,
+            None,
+            [Some(2), Some(2), Some(1)],
+            LatencyTable { alu: 1, fpu: 3, fpu_long: 12, mem: 2, branch: 1 },
+        )),
+        _ => MachineSpec::Inline(inline_machine(
+            6,
+            None,
+            [None, Some(3), Some(2)],
+            LatencyTable { alu: 1, fpu: 2, fpu_long: 6, mem: 4, branch: 1 },
+        )),
+    };
+    let n = [8i64, 16][(splitmix64(state) % 2) as usize];
+    let unwind = match splitmix64(state) % 3 {
+        0 => None,
+        _ => Some(4 + (splitmix64(state) % 6) as usize),
+    };
+    let mut options = EngineOptions::default();
+    if splitmix64(state) % 4 == 0 {
+        options.fold_inductions = false;
+    }
+    ScheduleRequest { id, kernel: kernel.to_string(), n, machine, unwind, options }
+}
+
+/// Property: for a seeded random request stream served by one warm
+/// engine, every response — hit or miss — is bit-identical to what a
+/// completely cold engine computes for the same request.
+#[test]
+fn warm_responses_are_bit_identical_to_cold_runs() {
+    let mut state = 0xfeed_5eed_u64;
+    let mut warm = Engine::new(EngineConfig::default());
+    let mut hits = 0;
+    let mut ddg_hits = 0;
+    for id in 0..40 {
+        let req = random_request(&mut state, id);
+        let served = warm.process(0, &req);
+        let cold = Engine::new(EngineConfig::default()).process(0, &req);
+        assert_eq!(cold.cache, CacheStatus::Miss);
+        assert!(
+            served.bits_eq(&cold),
+            "response diverged from cold run (cache={:?})\nreq:  {req:?}\nwarm: {served:?}\ncold: {cold:?}",
+            served.cache
+        );
+        assert!(served.ok, "{}: {:?}", req.kernel, served.error);
+        assert!(served.verified);
+        assert_eq!(served.sched_stalls, 0, "stall-free invariant through the service");
+        assert_eq!(served.template_violations, 0);
+        match served.cache {
+            CacheStatus::Hit => hits += 1,
+            CacheStatus::DdgHit => ddg_hits += 1,
+            CacheStatus::Miss => {}
+        }
+    }
+    // The stream is small over a bounded key space: both cache levels
+    // must actually fire for the property to mean anything.
+    assert!(hits > 0, "stream never hit the schedule cache");
+    assert!(ddg_hits > 0, "stream never hit the DDG cache");
+}
+
+/// Property: cache evictions never corrupt responses — with pathologically
+/// tiny caches, re-computed responses still match the originals bit for
+/// bit.
+#[test]
+fn evictions_preserve_bit_identity() {
+    let tiny = EngineConfig { ddg_cache_cap: 2, sched_cache_cap: 3 };
+    let mut engine = Engine::new(tiny);
+    let mut state = 0x0dd_ba11_u64;
+    let reqs: Vec<ScheduleRequest> = (0..10).map(|id| random_request(&mut state, id)).collect();
+    let firsts: Vec<_> = reqs.iter().map(|r| engine.process(0, r)).collect();
+    // Cycle through them again: many were evicted, all must reproduce.
+    for (req, first) in reqs.iter().zip(&firsts) {
+        let again = engine.process(0, req);
+        assert!(again.bits_eq(first), "eviction broke determinism for {}", req.kernel);
+    }
+    assert!(engine.counters().sched_evictions > 0, "tiny cache must have evicted");
+}
+
+/// Concurrent hammer: N worker shards × M interleaved requests, submitted
+/// twice over a shuffled order, must be deterministic — request-for-
+/// request bit-identical with each other and with a single-shard service.
+#[test]
+fn concurrent_hammer_is_deterministic() {
+    let mut state = 0xc0ff_ee00_u64;
+    // A workload with deliberate duplicates so shards see interleaved
+    // repeats of their own keys while other shards are mid-flight.
+    let base: Vec<ScheduleRequest> = (0..12).map(|id| random_request(&mut state, id)).collect();
+    let mut hammer: Vec<ScheduleRequest> = Vec::new();
+    for round in 0..4u64 {
+        for (i, r) in base.iter().enumerate() {
+            let mut r = r.clone();
+            r.id = round * 100 + i as u64;
+            hammer.push(r);
+        }
+    }
+    // Shuffle deterministically so rounds interleave.
+    for i in (1..hammer.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        hammer.swap(i, j);
+    }
+
+    let sharded = Service::new(ServiceConfig { shards: 4, ..Default::default() });
+    let first = sharded.submit_batch(hammer.clone());
+    let second = sharded.submit_batch(hammer.clone());
+    let single = Service::new(ServiceConfig { shards: 1, ..Default::default() });
+    let reference = single.submit_batch(hammer.clone());
+
+    for ((a, b), r) in first.iter().zip(&second).zip(&reference) {
+        assert!(a.ok, "{}: {:?}", a.kernel, a.error);
+        assert!(a.bits_eq(b), "re-submission diverged for {} on {}", a.kernel, a.machine);
+        assert!(a.bits_eq(r), "shard count changed the answer for {} on {}", a.kernel, a.machine);
+        assert_eq!(a.sched_stalls, 0);
+    }
+    // Affinity: the same request always lands on the same shard.
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.shard, b.shard);
+    }
+    // The second pass is 100% schedule-cache hits.
+    assert!(second.iter().all(|r| r.cache == CacheStatus::Hit));
+    let stats = sharded.stats();
+    assert_eq!(stats.counters.processed, 2 * hammer.len() as u64);
+    assert!(stats.counters.sched_hits >= hammer.len() as u64);
+}

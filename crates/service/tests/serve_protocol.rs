@@ -1,0 +1,97 @@
+//! End-to-end smoke test of the `grip-serve` binary over the
+//! stdin/stdout JSON-lines protocol — the same path CI exercises with
+//! `grip-client --emit | grip-serve | grip-client --check`.
+
+use grip_json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+/// Drive the real binary: a preset×kernel batch with repeats, asserting
+/// verified stall-free responses, nonzero cache hits on the repeats, and
+/// bit-identical repeat responses.
+#[test]
+fn grip_serve_speaks_the_protocol() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_grip-serve"))
+        .args(["--shards", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn grip-serve");
+
+    let mut stdin = child.stdin.take().expect("stdin");
+    let kernels = ["LL1", "LL5", "LL12"];
+    let presets = ["uniform4", "epic8"];
+    let mut id = 0u64;
+    let mut sent = Vec::new();
+    for _round in 0..2 {
+        for k in kernels {
+            for p in presets {
+                id += 1;
+                let line =
+                    format!("{{\"id\":{id},\"kernel\":\"{k}\",\"n\":12,\"machine\":\"{p}\"}}");
+                writeln!(stdin, "{line}").expect("write request");
+                sent.push((id, k.to_string(), p.to_string()));
+            }
+        }
+    }
+    writeln!(stdin, "{{\"cmd\":\"stats\"}}").expect("write stats cmd");
+    drop(stdin); // EOF ends the session
+
+    let out = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut responses: Vec<Json> = Vec::new();
+    let mut stats: Option<Json> = None;
+    for line in out.lines() {
+        let line = line.expect("read response");
+        let j = Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        if j.get("cmd").is_some() {
+            stats = Some(j);
+        } else {
+            responses.push(j);
+        }
+    }
+    assert!(child.wait().expect("wait").success());
+
+    assert_eq!(responses.len(), sent.len());
+    let mut hits = 0;
+    let mut first: std::collections::HashMap<(String, String), String> =
+        std::collections::HashMap::new();
+    for (resp, (id, kernel, preset)) in responses.iter().zip(&sent) {
+        assert_eq!(resp.get("id").and_then(Json::as_i64), Some(*id as i64), "order preserved");
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("verified").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("sched_stalls").and_then(Json::as_i64), Some(0));
+        assert_eq!(resp.get("template_violations").and_then(Json::as_i64), Some(0));
+        assert_eq!(resp.get("kernel").and_then(Json::as_str), Some(kernel.as_str()));
+        if resp.get("cache").and_then(Json::as_str) == Some("hit") {
+            hits += 1;
+        }
+        // Canonical content line: the response minus per-delivery fields
+        // must be identical between a repeat and its cold first serving.
+        let canon = match resp {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .iter()
+                    .filter(|(k, _)| !matches!(k.as_str(), "id" | "cache" | "wall_us" | "shard"))
+                    .cloned()
+                    .collect(),
+            )
+            .line(),
+            _ => unreachable!("responses are objects"),
+        };
+        match first.entry((kernel.clone(), preset.clone())) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(canon);
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                assert_eq!(o.get(), &canon, "{kernel}/{preset}: repeat diverged from cold run");
+            }
+        }
+    }
+    assert_eq!(hits, kernels.len() * presets.len(), "second round must be all cache hits");
+
+    let stats = stats.expect("stats frame");
+    let s = stats.get("stats").expect("stats payload");
+    assert_eq!(s.get("processed").and_then(Json::as_i64), Some(sent.len() as i64));
+    assert_eq!(s.get("sched_hits").and_then(Json::as_i64), Some(hits as i64));
+}

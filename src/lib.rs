@@ -16,6 +16,8 @@
 //! | [`pipeline`] | Perfect Pipelining: unwinding, pattern detection, loop re-rolling with register rotation |
 //! | [`baselines`] | Unifiable-ops scheduling (§3.1) and POST (§4) |
 //! | [`kernels`] | the Livermore Loops LL1–LL14 with native references |
+//! | [`json`] | dependency-free JSON writer + parser (the wire format) |
+//! | [`service`] | the sharded scheduling service: content-addressed schedule/DDG caches, `Service::submit`, JSON-lines protocol (`grip-serve`/`grip-client`) |
 //!
 //! ## Quickstart
 //!
@@ -79,10 +81,12 @@ pub use grip_analysis as analysis;
 pub use grip_baselines as baselines;
 pub use grip_core as core;
 pub use grip_ir as ir;
+pub use grip_json as json;
 pub use grip_kernels as kernels;
 pub use grip_machine as machine;
 pub use grip_percolate as percolate;
 pub use grip_pipeline as pipeline;
+pub use grip_service as service;
 pub use grip_vm as vm;
 
 /// Everything a typical user needs in scope.
@@ -96,5 +100,8 @@ pub mod prelude {
     pub use grip_machine::{FuClass, LatencyTable, MachineDesc, MachineModel};
     pub use grip_percolate::Ctx;
     pub use grip_pipeline::{perfect_pipeline, PipelineOptions, PipelineReport};
+    pub use grip_service::{
+        MachineSpec, ScheduleRequest, ScheduleResponse, Service, ServiceConfig,
+    };
     pub use grip_vm::{EquivReport, Machine, ModelRunStats};
 }
