@@ -34,10 +34,21 @@ fn main() {
         .iter()
         .filter(|c| !c.verified || c.template_violations > 0 || c.sched_stalls > 0)
         .collect();
-    if bad.is_empty() {
+
+    // Timing gate: the per-stage self times must decompose each cell's
+    // wall time — unaccounted time beyond 5% means a stage span is
+    // missing. Cells under 1 ms are skipped (timer noise dominates).
+    let unaccounted: Vec<&_> = cells
+        .iter()
+        .filter(|c| c.timings.total_ns >= 1_000_000)
+        .filter(|c| (c.timings.stage_sum_ns() as f64) < 0.95 * c.timings.total_ns as f64)
+        .collect();
+
+    if bad.is_empty() && unaccounted.is_empty() {
         println!(
             "\nAll cells verified against sequential execution; \
-             no template violations, no interlock stalls."
+             no template violations, no interlock stalls; \
+             stage timings account for every cell's wall time."
         );
     } else {
         println!("\nVIOLATIONS:");
@@ -45,6 +56,15 @@ fn main() {
             println!(
                 "  {} on {}: verified={} template_violations={} sched_stalls={}",
                 c.kernel, c.machine, c.verified, c.template_violations, c.sched_stalls
+            );
+        }
+        for c in unaccounted {
+            println!(
+                "  {} on {}: stage sum {:.0} us accounts for <95% of wall {:.0} us",
+                c.kernel,
+                c.machine,
+                c.timings.stage_sum_ns() as f64 / 1000.0,
+                c.timings.total_ns as f64 / 1000.0
             );
         }
         std::process::exit(1);

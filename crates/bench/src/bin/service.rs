@@ -10,7 +10,10 @@
 //!   path;
 //! * every cache-hit response bit-identical to the first (cold) response
 //!   for the same work;
-//! * with repeats, a nonzero schedule-cache hit count.
+//! * with repeats, a nonzero schedule-cache hit count;
+//! * per-stage times (prepare/schedule/hazards/verify) summing to within
+//!   5% of each cold response's wall time (≥ 1 ms walls only — below
+//!   that, timer noise dominates).
 //!
 //! Usage: `service [trip-count] [--repeat K] [--shards N] [--seed S]`
 //! (defaults: n = 48, repeat = 12 → 1008 requests).
@@ -37,7 +40,15 @@ fn main() {
     }
 
     let service = Service::new(ServiceConfig { shards, ..Default::default() });
-    let reqs = mixed_workload(n, repeat, seed);
+    // Every request opts into the per-stage breakdown; the timings ride
+    // outside bits_eq, so the bit-identity gate below is unaffected.
+    let reqs: Vec<_> = mixed_workload(n, repeat, seed)
+        .into_iter()
+        .map(|mut r| {
+            r.want_timings = true;
+            r
+        })
+        .collect();
     let total = reqs.len();
     eprintln!(
         "service sweep: {} requests ({} unique cells × {repeat}), n = {n}, {} shards …",
@@ -92,7 +103,45 @@ fn main() {
         violations.push("repeated sweep produced no schedule-cache hits".to_string());
     }
 
-    let mut lat: Vec<u64> = responses.iter().map(|r| r.wall_us).collect();
+    // Gate 3: per-stage times must decompose each cold response's wall
+    // time (unaccounted > 5% means a missing span). Hits are skipped —
+    // a cache hit does no stage work — as are sub-millisecond walls,
+    // where timer noise dominates.
+    let mut stage_ns: HashMap<&str, Vec<u64>> = HashMap::new();
+    for r in &responses {
+        let Some(t) = &r.timings else {
+            violations.push(format!("{} on {}: response missing timings", r.kernel, r.machine));
+            continue;
+        };
+        if r.cache == CacheStatus::Hit {
+            continue;
+        }
+        for (stage, ns) in [
+            ("prepare", t.prepare_ns),
+            ("schedule", t.schedule_ns),
+            ("hazards", t.hazards_ns),
+            ("verify", t.verify_ns),
+        ] {
+            stage_ns.entry(stage).or_default().push(ns);
+        }
+        if r.wall_ns >= 1_000_000 && (t.stage_sum_ns() as f64) < 0.95 * r.wall_ns as f64 {
+            violations.push(format!(
+                "{} on {}: stage sum {} ns accounts for <95% of wall {} ns",
+                r.kernel,
+                r.machine,
+                t.stage_sum_ns(),
+                r.wall_ns
+            ));
+        }
+    }
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let stage_pcts = |stage: &str| {
+        let mut v = stage_ns.get(stage).cloned().unwrap_or_default();
+        v.sort_unstable();
+        (us(percentile(&v, 0.50)), us(percentile(&v, 0.99)))
+    };
+
+    let mut lat: Vec<u64> = responses.iter().map(|r| r.wall_ns).collect();
     lat.sort_unstable();
     let hit_rate = hits as f64 / total.max(1) as f64;
     let rps = total as f64 / wall.as_secs_f64().max(1e-9);
@@ -105,12 +154,24 @@ fn main() {
     println!("requests/sec:    {rps:.1}");
     println!("cache hit rate:  {:.1}% ({hits} hits, {ddg_hits} ddg hits)", 100.0 * hit_rate);
     println!(
-        "latency:         p50 {} us, p99 {} us, max {} us",
-        percentile(&lat, 0.50),
-        percentile(&lat, 0.99),
-        lat.last().copied().unwrap_or(0)
+        "latency:         p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+        us(percentile(&lat, 0.50)),
+        us(percentile(&lat, 0.99)),
+        us(lat.last().copied().unwrap_or(0))
     );
+    println!("cold stage p50s: {}", {
+        let mut parts = Vec::new();
+        for stage in ["prepare", "schedule", "hazards", "verify"] {
+            parts.push(format!("{stage} {:.1} us", stage_pcts(stage).0));
+        }
+        parts.join(", ")
+    });
 
+    let stages_json =
+        ["prepare", "schedule", "hazards", "verify"].into_iter().fold(Json::obj(), |acc, stage| {
+            let (p50, p99) = stage_pcts(stage);
+            acc.field(stage, Json::obj().field("p50_us", p50).field("p99_us", p99))
+        });
     let json = Json::obj()
         .field("bench", "service")
         .field("trip_count", n as u64)
@@ -123,10 +184,11 @@ fn main() {
         .field("cache_hits", hits)
         .field("ddg_hits", ddg_hits)
         .field("cache_hit_rate", hit_rate)
-        .field("p50_us", percentile(&lat, 0.50))
-        .field("p90_us", percentile(&lat, 0.90))
-        .field("p99_us", percentile(&lat, 0.99))
-        .field("max_us", lat.last().copied().unwrap_or(0))
+        .field("p50_us", us(percentile(&lat, 0.50)))
+        .field("p90_us", us(percentile(&lat, 0.90)))
+        .field("p99_us", us(percentile(&lat, 0.99)))
+        .field("max_us", us(lat.last().copied().unwrap_or(0)))
+        .field("stages_cold", stages_json)
         .field("verification_failures", violations.len())
         .field("service_stats", stats.to_json());
     let path = "BENCH_service.json";

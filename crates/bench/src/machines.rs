@@ -43,6 +43,9 @@ pub struct MachineCell {
     pub hazard_delay_rows: u64,
     /// Ready ops the post-pass backfilled into that padding.
     pub hazard_backfills: u64,
+    /// Per-stage self times for this cell (prepare/schedule/hazards/
+    /// verify plus the measured wall), from the grip-obs span collector.
+    pub timings: grip_obs::StageBreakdown,
 }
 
 impl MachineCell {
@@ -61,6 +64,11 @@ impl MachineCell {
             .field("template_violations", self.template_violations)
             .field("hazard_delay_rows", self.hazard_delay_rows)
             .field("hazard_backfills", self.hazard_backfills)
+            .field("prepare_us", self.timings.prepare_ns as f64 / 1000.0)
+            .field("schedule_us", self.timings.schedule_ns as f64 / 1000.0)
+            .field("hazards_us", self.timings.hazards_ns as f64 / 1000.0)
+            .field("verify_us", self.timings.verify_ns as f64 / 1000.0)
+            .field("wall_us", self.timings.total_ns as f64 / 1000.0)
     }
 }
 
@@ -73,34 +81,47 @@ pub fn preset_label(desc: &MachineDesc) -> String {
     }
 }
 
-/// Measure one kernel on one machine.
+/// Measure one kernel on one machine. The whole measurement runs under a
+/// grip-obs stage collector, so the cell carries a per-stage breakdown
+/// (prepare/schedule/hazards from the pipeline's own spans, verify from
+/// the model runs below) that decomposes the cell's wall time.
 pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
-    let g0 = (k.build)(n);
-    let mut g = g0.clone();
-    let width = desc.width.min(8);
-    let rep = perfect_pipeline(
-        &mut g,
-        PipelineOptions {
-            unwind: unwind_for(width),
-            resources: Resources::machine(desc),
-            fold_inductions: true,
-            gap_prevention: true,
-            dce: true,
-            try_roll: false,
-        },
-    );
+    let ((rep, verified, seq, sched), stage_timings) = grip_obs::collect(|| {
+        let (g0, mut g) = {
+            // Kernel construction folds into the "prepare" bucket of the
+            // breakdown, like the engine's build span.
+            let _span = grip_obs::span!("build");
+            let g0 = (k.build)(n);
+            let g = g0.clone();
+            (g0, g)
+        };
+        let width = desc.width.min(8);
+        let rep = perfect_pipeline(
+            &mut g,
+            PipelineOptions {
+                unwind: unwind_for(width),
+                resources: Resources::machine(desc),
+                fold_inductions: true,
+                gap_prevention: true,
+                dce: true,
+                try_roll: false,
+            },
+        );
 
-    let mut m0 = Machine::for_graph(&g0);
-    (k.init)(&g0, &mut m0, n);
-    let seq = m0.run_model(&g0, &desc);
-    let mut m1 = Machine::for_graph(&g);
-    (k.init)(&g, &mut m1, n);
-    let sched = m1.run_model(&g, &desc);
+        let _span = grip_obs::span!("verify");
+        let mut m0 = Machine::for_graph(&g0);
+        (k.init)(&g0, &mut m0, n);
+        let seq = m0.run_model(&g0, &desc);
+        let mut m1 = Machine::for_graph(&g);
+        (k.init)(&g, &mut m1, n);
+        let sched = m1.run_model(&g, &desc);
 
-    let verified = match (&seq, &sched) {
-        (Ok(_), Ok(_)) => EquivReport::compare(&g0, &m0, &m1).is_equal(),
-        _ => false,
-    };
+        let verified = match (&seq, &sched) {
+            (Ok(_), Ok(_)) => EquivReport::compare(&g0, &m0, &m1).is_equal(),
+            _ => false,
+        };
+        (rep, verified, seq, sched)
+    });
     let seq_cycles = seq.map(|s| s.total_cycles()).unwrap_or(0);
     // The hazard-resolution post-pass makes stall-freedom a scheduler
     // invariant; the model run is the independent cross-check, and any
@@ -122,6 +143,7 @@ pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
         template_violations,
         hazard_delay_rows: rep.stats.hazard_delay_rows,
         hazard_backfills: rep.stats.hazard_backfills,
+        timings: grip_obs::StageBreakdown::from_timings(&stage_timings),
     }
 }
 

@@ -267,6 +267,10 @@ impl<'g, 'a> Grip<'g, 'a> {
 
     /// Run the full top-down schedule (Figure 10 / Figure 12).
     pub fn run(mut self) -> ScheduleOutput {
+        // Stage span + pass counters: observation only — nothing below
+        // reads the clock or the registry, so schedules are bit-identical
+        // with instrumentation on.
+        let _span = grip_obs::span!("grip");
         let mut i = 0;
         while i < self.region.len() {
             let n = self.region[i];
@@ -297,6 +301,7 @@ impl<'g, 'a> Grip<'g, 'a> {
             self.stats.hazard_backfills = hz.backfilled;
             self.stats.hazard_reclaimed_rows = hz.reclaimed_rows;
         }
+        record_pass_counters(&self.stats);
         ScheduleOutput { stats: self.stats, trace: self.trace, region: self.region }
     }
 
@@ -859,6 +864,22 @@ impl<'g, 'a> Grip<'g, 'a> {
             i += 1;
         }
     }
+}
+
+/// Fold one run's [`ScheduleStats`] into the process-wide metrics
+/// registry (`grip_obs`): GRiP iterations, percolation moves attempted
+/// vs committed, and the hazard post-pass work. Bumping once per run
+/// keeps the hot loops free of instrumentation.
+fn record_pass_counters(s: &ScheduleStats) {
+    grip_obs::counter!("grip_schedules_total").inc();
+    grip_obs::counter!("grip_iterations_total").add(s.picks);
+    grip_obs::counter!("grip_moves_committed_total").add(s.hops);
+    grip_obs::counter!("grip_moves_attempted_total")
+        .add(s.hops + s.resource_blocks + s.latency_blocks + s.gap_rejections);
+    grip_obs::counter!("grip_arrivals_total").add(s.arrivals);
+    grip_obs::counter!("grip_renames_total").add(s.renames);
+    grip_obs::counter!("grip_suspensions_total").add(s.suspensions);
+    grip_obs::counter!("grip_dce_removed_total").add(s.dce_removed);
 }
 
 /// Convenience: schedule `region` of `g` and return the output.

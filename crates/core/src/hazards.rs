@@ -277,7 +277,9 @@ pub fn pad_hazards(g: &mut Graph, desc: &MachineDesc) -> HazardStats {
     if desc.max_latency() <= 1 {
         return stats;
     }
+    let _span = grip_obs::span!("hazards");
     pad_to_fixpoint(g, None, desc, &mut stats);
+    record_hazard_counters(&stats);
     stats
 }
 
@@ -493,12 +495,23 @@ pub fn resolve_hazards(
     if desc.max_latency() <= 1 {
         return stats;
     }
+    let _span = grip_obs::span!("hazards");
     pad_to_fixpoint(g, Some(region), desc, &mut stats);
     backfill(g, ctx, desc, region, &mut stats);
     pad_to_fixpoint(g, Some(region), desc, &mut stats);
     ctx.refresh(g);
     debug_assert_eq!(scan_hazards(g, desc), 0, "schedule not stall-free on {}", desc.name);
+    record_hazard_counters(&stats);
     stats
+}
+
+/// Fold one resolution run's [`HazardStats`] into the process-wide
+/// metrics registry.
+fn record_hazard_counters(s: &HazardStats) {
+    grip_obs::counter!("grip_hazard_edges_total").add(s.hazards);
+    grip_obs::counter!("grip_hazard_delay_rows_total").add(s.delay_rows);
+    grip_obs::counter!("grip_hazard_backfills_total").add(s.backfilled);
+    grip_obs::counter!("grip_hazard_reclaimed_rows_total").add(s.reclaimed_rows);
 }
 
 #[cfg(test)]

@@ -1,0 +1,403 @@
+//! The process-wide metrics registry: named atomic counters, gauges, and
+//! log2-bucketed histograms, with JSON and Prometheus exposition.
+//!
+//! Registration is name-keyed and idempotent: asking the registry for an
+//! existing name returns a handle to the same underlying atomics, so any
+//! code path can `global().counter("grip_hops_total")` without
+//! coordination. Handles are `Arc`-backed — clone them out of the
+//! registry once (the [`crate::counter!`] family caches per call site)
+//! and updates are a single atomic op with no lock.
+
+use grip_json::Json;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (negative to decrease).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count for [`Histogram`]: bucket 0 holds zero, bucket `i ≥ 1`
+/// holds `2^(i-1) <= v <= 2^i - 1` (inclusive upper bounds
+/// `0, 1, 3, 7, 15, …`), and the last bucket catches everything above.
+pub const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log2-bucketed histogram of non-negative integer samples
+/// (nanoseconds, by convention).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// The bucket index a value lands in (see [`BUCKETS`]).
+pub fn bucket_index(v: u64) -> usize {
+    match v {
+        0 => 0,
+        v => (64 - (v.leading_zeros() as usize)).min(BUCKETS - 1),
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty, unregistered histogram (registered ones come from
+    /// [`Registry::histogram`]).
+    pub fn new() -> Histogram {
+        Histogram(Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (index as in [`bucket_index`]).
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Approximate quantile (`q` in `0..=1`): the upper bound of the
+    /// bucket containing the nearest-rank sample. Exact for samples that
+    /// are bucket bounds; within a factor of 2 otherwise — good enough
+    /// for the latency summaries this crate feeds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        let buckets = self.buckets();
+        for (i, &c) in buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics. Most code uses the process-wide
+/// [`global`] registry; tests can build private ones.
+#[derive(Default)]
+pub struct Registry {
+    // Names in registration order (exposition is deterministic given a
+    // deterministic registration order), values shared with handles.
+    inner: Mutex<(Vec<String>, HashMap<String, Metric>)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        name: &str,
+        wrap: fn(T) -> Metric,
+        unwrap: fn(&Metric) -> Option<T>,
+        fresh: fn() -> T,
+    ) -> T {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(m) = inner.1.get(name) {
+            return unwrap(m).unwrap_or_else(|| {
+                panic!("metric '{name}' already registered with a different type")
+            });
+        }
+        let v = fresh();
+        inner.0.push(name.to_string());
+        inner.1.insert(name.to_string(), wrap(v.clone()));
+        v
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.get_or_insert(
+            name,
+            Metric::Counter,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            Counter::default,
+        )
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.get_or_insert(
+            name,
+            Metric::Gauge,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            Gauge::default,
+        )
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.get_or_insert(
+            name,
+            Metric::Histogram,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            Histogram::new,
+        )
+    }
+
+    /// A point-in-time copy of every metric, for exposition.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = Vec::with_capacity(inner.0.len());
+        for name in &inner.0 {
+            let value = match &inner.1[name] {
+                Metric::Counter(c) => SnapValue::Counter(c.get()),
+                Metric::Gauge(g) => SnapValue::Gauge(g.get()),
+                Metric::Histogram(h) => SnapValue::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: Box::new(h.buckets()),
+                },
+            };
+            out.push((name.clone(), value));
+        }
+        Snapshot(out)
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One metric's value in a [`Snapshot`].
+#[derive(Clone, Debug)]
+pub enum SnapValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state (boxed: the bucket array dwarfs the other
+    /// variants, and snapshots are cold-path).
+    Histogram {
+        /// Total samples.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Per-bucket counts.
+        buckets: Box<[u64; BUCKETS]>,
+    },
+}
+
+/// A point-in-time copy of a registry, in registration order.
+#[derive(Clone, Debug)]
+pub struct Snapshot(pub Vec<(String, SnapValue)>);
+
+impl Snapshot {
+    /// Look up a counter by name (for tests and smoke checks).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.0.iter().find_map(|(n, v)| match v {
+            SnapValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The JSON exposition: one field per metric; histograms become
+    /// `{count, sum, buckets: [[bound, count], …]}` with empty buckets
+    /// elided.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        for (name, v) in &self.0 {
+            let value = match v {
+                SnapValue::Counter(c) => Json::Int(*c as i64),
+                SnapValue::Gauge(g) => Json::Int(*g),
+                SnapValue::Histogram { count, sum, buckets } => {
+                    let nonempty: Vec<Json> = buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &c)| {
+                            Json::Arr(vec![
+                                Json::Int(bucket_bound(i).min(i64::MAX as u64) as i64),
+                                Json::Int(c as i64),
+                            ])
+                        })
+                        .collect();
+                    Json::obj()
+                        .field("count", *count)
+                        .field("sum", *sum)
+                        .field("buckets", Json::Arr(nonempty))
+                }
+            };
+            j = j.field(name, value);
+        }
+        j
+    }
+
+    /// The Prometheus text exposition (histograms as cumulative
+    /// `_bucket{le="…"}` series plus `_sum` / `_count`).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.0 {
+            match v {
+                SnapValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {c}");
+                }
+                SnapValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {g}");
+                }
+                SnapValue::Histogram { count, sum, buckets } => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cum = 0u64;
+                    for (i, &c) in buckets.iter().enumerate() {
+                        cum += c;
+                        // Elide empty tail buckets but keep the shape:
+                        // always emit at least the +Inf bucket.
+                        if c > 0 {
+                            let _ =
+                                writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", bucket_bound(i));
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+                    let _ = writeln!(out, "{name}_sum {sum}");
+                    let _ = writeln!(out, "{name}_count {count}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Check a Prometheus text exposition for line-format validity: every
+/// line is a `# …` comment or `metric_name[{label="value",…}] number`.
+/// Returns the first offending line. Used by the CI metrics smoke.
+pub fn prometheus_lint(text: &str) -> Result<(), String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    for (no, line) in text.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = || format!("line {}: malformed sample line: {line:?}", no + 1);
+        // Split off an optional {labels} block.
+        let (name, rest) = match line.find('{') {
+            Some(open) => {
+                let close = line.find('}').ok_or_else(bad)?;
+                if close < open {
+                    return Err(bad());
+                }
+                let labels = &line[open + 1..close];
+                for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair.split_once('=').ok_or_else(bad)?;
+                    if !valid_name(k) || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return Err(bad());
+                    }
+                }
+                (&line[..open], &line[close + 1..])
+            }
+            None => {
+                let sp = line.find(' ').ok_or_else(bad)?;
+                (&line[..sp], &line[sp..])
+            }
+        };
+        if !valid_name(name) {
+            return Err(format!("line {}: bad metric name {name:?}", no + 1));
+        }
+        let value = rest.trim();
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN" {
+            return Err(format!("line {}: bad sample value {value:?}", no + 1));
+        }
+    }
+    Ok(())
+}

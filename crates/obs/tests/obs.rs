@@ -1,0 +1,212 @@
+//! grip-obs invariants: registry concurrency, histogram bucket
+//! boundaries, span nesting self-time accounting, unwind safety, and
+//! exposition formats.
+
+use grip_obs::metrics::{bucket_bound, bucket_index, prometheus_lint, Registry, BUCKETS};
+use grip_obs::span::{collect, current_path, enter};
+use grip_obs::{span, Histogram};
+
+#[test]
+fn counters_survive_a_thread_hammering() {
+    let reg = Registry::new();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let c = reg.counter("hammered_total");
+            let g = reg.gauge("seesaw");
+            let h = reg.histogram("hist_ns");
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.add(if (i + t as u64) % 2 == 0 { 1 } else { -1 });
+                    h.record(i);
+                }
+            });
+        }
+    });
+    assert_eq!(reg.counter("hammered_total").get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(reg.gauge("seesaw").get(), 0, "balanced adds cancel");
+    let h = reg.histogram("hist_ns");
+    assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
+    assert_eq!(h.sum(), THREADS as u64 * (PER_THREAD * (PER_THREAD - 1) / 2));
+    // Registration is idempotent: same handle, not a second metric.
+    assert_eq!(reg.snapshot().0.len(), 3);
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_powers_of_two() {
+    // Bucket 0 holds zero; bucket i ≥ 1 holds [2^(i-1), 2^i - 1].
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    assert_eq!(bucket_index(7), 3);
+    assert_eq!(bucket_index(8), 4);
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    for i in 1..BUCKETS - 1 {
+        let hi = bucket_bound(i);
+        assert_eq!(bucket_index(hi), i, "upper bound stays in its bucket");
+        assert_eq!(bucket_index(hi + 1), i + 1, "bound+1 spills into the next");
+    }
+    assert_eq!(bucket_bound(0), 0);
+    assert_eq!(bucket_bound(BUCKETS - 1), u64::MAX);
+
+    let h = Histogram::new();
+    for v in [0, 1, 2, 3, 4, 1023, 1024] {
+        h.record(v);
+    }
+    let b = h.buckets();
+    assert_eq!(b[0], 1, "zero");
+    assert_eq!(b[1], 1, "one");
+    assert_eq!(b[2], 2, "two and three");
+    assert_eq!(b[3], 1, "four");
+    assert_eq!(b[10], 1, "1023 = 2^10 - 1");
+    assert_eq!(b[11], 1, "1024 = 2^10");
+    assert_eq!(h.count(), 7);
+}
+
+#[test]
+fn histogram_quantiles_are_bucket_bounds() {
+    let h = Histogram::new();
+    for _ in 0..99 {
+        h.record(10); // bucket 4, bound 15
+    }
+    h.record(1_000_000);
+    assert_eq!(h.quantile(0.5), 15);
+    assert!(h.quantile(1.0) >= 1_000_000);
+    assert_eq!(Histogram::new().quantile(0.5), 0, "empty histogram");
+}
+
+#[test]
+fn nested_spans_decompose_into_disjoint_self_times() {
+    let ((), t) = collect(|| {
+        let _outer = span!("outer_stage");
+        assert_eq!(current_path(), vec!["outer_stage"]);
+        busy(5);
+        {
+            let _inner = span!("inner_stage");
+            assert_eq!(current_path(), vec!["outer_stage", "inner_stage"]);
+            busy(5);
+        }
+        busy(1);
+    });
+    assert!(current_path().is_empty(), "stack drains");
+    let outer = t.get("outer_stage");
+    let inner = t.get("inner_stage");
+    assert!(outer > 0 && inner > 0, "both stages recorded: {t:?}");
+    // Self times are disjoint: their sum cannot exceed the wall total.
+    assert!(
+        t.stage_sum_ns() <= t.total_ns,
+        "stage sum {} must be within wall {}",
+        t.stage_sum_ns(),
+        t.total_ns
+    );
+    // And the two stages cover nearly all of it (the gap is collect's
+    // own bookkeeping, well under 20% of a ~10ms scope).
+    assert!((outer + inner) as f64 >= 0.8 * t.total_ns as f64, "{t:?}");
+}
+
+#[test]
+fn repeated_stages_accumulate_and_unknown_stages_read_zero() {
+    let ((), t) = collect(|| {
+        for _ in 0..3 {
+            let _g = span!("loop_stage");
+            busy(1);
+        }
+    });
+    assert_eq!(t.stages.len(), 1, "one entry per distinct name");
+    assert!(t.get("loop_stage") > 0);
+    assert_eq!(t.get("never_ran"), 0);
+}
+
+#[test]
+fn spans_unwind_safely_through_panics() {
+    let ((), t) = collect(|| {
+        let caught = std::panic::catch_unwind(|| {
+            let _outer = enter("panicking_outer");
+            let _inner = enter("panicking_inner");
+            busy(1);
+            panic!("boom");
+        });
+        assert!(caught.is_err());
+        // Both guards dropped during unwind: the stack is clean and both
+        // stages were still recorded.
+        assert!(current_path().is_empty(), "unwind drains the stack");
+        let _after = span!("after_panic");
+        busy(1);
+    });
+    assert!(t.get("panicking_outer") > 0, "{t:?}");
+    assert!(t.get("panicking_inner") > 0, "{t:?}");
+    assert!(t.get("after_panic") > 0, "{t:?}");
+}
+
+#[test]
+fn nested_collects_do_not_leak_into_each_other() {
+    let ((), outer) = collect(|| {
+        let _g = span!("outer_only");
+        busy(1);
+        let ((), inner) = collect(|| {
+            let _g = span!("inner_only");
+            busy(1);
+        });
+        assert!(inner.get("inner_only") > 0);
+        assert_eq!(inner.get("outer_only"), 0);
+    });
+    assert!(outer.get("outer_only") > 0);
+    assert_eq!(outer.get("inner_only"), 0, "inner scope invisible outside: {outer:?}");
+}
+
+#[test]
+fn snapshot_exposes_json_and_prometheus() {
+    let reg = Registry::new();
+    reg.counter("grip_test_events_total").add(7);
+    reg.gauge("grip_test_depth").set(-3);
+    let h = reg.histogram("grip_test_latency_ns");
+    h.record(0);
+    h.record(100);
+    h.record(1 << 40);
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("grip_test_events_total"), Some(7));
+
+    // JSON parses back through grip-json and carries the values.
+    let j = grip_json::Json::parse(&snap.to_json().line()).expect("snapshot JSON parses");
+    assert_eq!(j.get("grip_test_events_total").and_then(grip_json::Json::as_i64), Some(7));
+    assert_eq!(j.get("grip_test_depth").and_then(grip_json::Json::as_i64), Some(-3));
+    let hist = j.get("grip_test_latency_ns").expect("histogram field");
+    assert_eq!(hist.get("count").and_then(grip_json::Json::as_i64), Some(3));
+
+    // Prometheus text passes the lint and carries the series.
+    let text = snap.to_prometheus();
+    prometheus_lint(&text).expect("well-formed exposition");
+    assert!(text.contains("# TYPE grip_test_events_total counter"));
+    assert!(text.contains("grip_test_events_total 7"));
+    assert!(text.contains("grip_test_depth -3"));
+    assert!(text.contains("grip_test_latency_ns_count 3"));
+    assert!(text.contains("_bucket{le=\"+Inf\"} 3"));
+}
+
+#[test]
+fn prometheus_lint_rejects_malformed_lines() {
+    assert!(prometheus_lint("ok_metric 1\n# a comment\nwith_labels{le=\"5\"} 2.5\n").is_ok());
+    for bad in [
+        "no value line\n",     // name with spaces, no numeric value
+        "9leading_digit 1\n",  // bad name
+        "metric{le=5} 1\n",    // unquoted label value
+        "metric{le=\"5\" 1\n", // unclosed brace
+        "metric notanumber\n", // bad value
+    ] {
+        assert!(prometheus_lint(bad).is_err(), "{bad:?} should fail the lint");
+    }
+}
+
+/// Spin for at least `ms` milliseconds of wall time (sleep granularity is
+/// too coarse for self-time assertions on a loaded CI box).
+fn busy(ms: u64) {
+    let t0 = std::time::Instant::now();
+    while t0.elapsed().as_millis() < ms as u128 {
+        std::hint::spin_loop();
+    }
+}

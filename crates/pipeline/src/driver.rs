@@ -105,6 +105,7 @@ pub struct PreparedWindow {
 /// build the dependence graph. Mutates `g` into the pre-scheduling window
 /// form; scheduling itself happens in [`schedule_window`].
 pub fn prepare(g: &mut Graph, unwind_factor: usize, fold_inductions: bool) -> PreparedWindow {
+    let _span = grip_obs::span!("prepare");
     let window = unwind(g, unwind_factor);
     if fold_inductions {
         simplify_inductions(g, &window.rows);
@@ -133,6 +134,10 @@ pub fn schedule_window(
     ddg: &Ddg,
     opts: PipelineOptions,
 ) -> PipelineReport {
+    // The "schedule" stage span covers ranking, GRiP (its own child
+    // span), pattern detection, and re-rolling; the hazard post-pass
+    // inside GRiP (and after rolling) reports separately as "hazards".
+    let _span = grip_obs::span!("schedule");
     let mut ctx = Ctx::new(g, ddg);
     // Latency-aware ranks: chains weighted by issue latency, and — on
     // multi-cycle machines only — the iteration-major stipulation

@@ -3,25 +3,34 @@
 //! Three modes, composable into shell pipelines:
 //!
 //! ```text
-//! grip-client --emit [--repeat K] [--n N] [--seed S]
+//! grip-client --emit [--repeat K] [--n N] [--seed S] [--metrics]
 //!     print the mixed sweep (all presets × LL1–LL14, repeated K times,
-//!     shuffled) as JSON-lines requests on stdout
+//!     shuffled) as JSON-lines requests on stdout; --metrics appends
+//!     {"cmd":"metrics"} (JSON and Prometheus forms) after the sweep
 //!
-//! grip-client --check [--expect-hits]
+//! grip-client --check [--expect-hits] [--metrics] [--latency-summary]
 //!     read responses from stdin; fail (exit 1) on any !ok, unverified,
 //!     stalled, or template-violating response — and, with
-//!     --expect-hits, if no response was served from the schedule cache;
-//!     print a throughput/latency summary
+//!     --expect-hits, if no response was served from the schedule
+//!     cache; with --metrics, validate the metrics frames (nonzero
+//!     stage counters, lint-clean Prometheus text); print a
+//!     throughput/latency summary
 //!
 //! grip-client --addr HOST:PORT [--repeat K] [--n N] [--seed S]
+//!             [--metrics] [--latency-summary]
 //!     drive a TCP server with the same sweep and check + summarize the
 //!     responses
 //! ```
 //!
-//! CI runs `grip-client --emit | grip-serve | grip-client --check
-//! --expect-hits` as the protocol smoke test.
+//! `--latency-summary` prints a per-request latency histogram (the
+//! `grip-obs` log2 histogram) plus the cold/hit latency split.
+//!
+//! CI runs `grip-client --emit --metrics | grip-serve | grip-client
+//! --check --expect-hits --metrics` as the protocol + metrics smoke.
 
 use grip_json::Json;
+use grip_obs::metrics::{bucket_bound, prometheus_lint};
+use grip_obs::Histogram;
 use grip_service::workload::{mixed_workload, percentile};
 use grip_service::{proto, CacheStatus, ScheduleResponse};
 use std::io::{BufRead, BufWriter, Write};
@@ -32,6 +41,8 @@ struct Opts {
     n: i64,
     seed: u64,
     expect_hits: bool,
+    metrics: bool,
+    latency_summary: bool,
 }
 
 enum Mode {
@@ -43,7 +54,7 @@ enum Mode {
 fn usage() -> ! {
     eprintln!(
         "usage: grip-client (--emit | --check [--expect-hits] | --addr HOST:PORT) \
-         [--repeat K] [--n N] [--seed S]"
+         [--repeat K] [--n N] [--seed S] [--metrics] [--latency-summary]"
     );
     std::process::exit(2)
 }
@@ -51,7 +62,15 @@ fn usage() -> ! {
 fn parse_args() -> Opts {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = None;
-    let mut opts = Opts { mode: Mode::Check, repeat: 3, n: 48, seed: 0x9fb3, expect_hits: false };
+    let mut opts = Opts {
+        mode: Mode::Check,
+        repeat: 3,
+        n: 48,
+        seed: 0x9fb3,
+        expect_hits: false,
+        metrics: false,
+        latency_summary: false,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -66,6 +85,8 @@ fn parse_args() -> Opts {
                 opts.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--expect-hits" => opts.expect_hits = true,
+            "--metrics" => opts.metrics = true,
+            "--latency-summary" => opts.latency_summary = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -77,14 +98,23 @@ fn parse_args() -> Opts {
     opts
 }
 
+/// The two metrics probes `--metrics` appends after a sweep: the JSON
+/// snapshot and the Prometheus text form.
+fn metrics_probe_lines() -> [String; 2] {
+    [
+        Json::obj().field("cmd", "metrics").line(),
+        Json::obj().field("cmd", "metrics").field("format", "prometheus").line(),
+    ]
+}
+
 fn main() {
     let opts = parse_args();
     match &opts.mode {
         Mode::Emit => emit(&opts),
         Mode::Check => {
             let stdin = std::io::stdin();
-            let responses = read_responses(stdin.lock());
-            finish(&opts, &responses, None);
+            let (responses, metrics) = read_responses(stdin.lock());
+            finish(&opts, &responses, &metrics, None);
         }
         Mode::Addr(addr) => drive_tcp(&opts, addr),
     }
@@ -96,11 +126,17 @@ fn emit(opts: &Opts) {
     for req in mixed_workload(opts.n, opts.repeat, opts.seed) {
         writeln!(w, "{}", proto::request_to_json(&req).line()).expect("stdout");
     }
+    if opts.metrics {
+        for line in metrics_probe_lines() {
+            writeln!(w, "{line}").expect("stdout");
+        }
+    }
     w.flush().expect("stdout");
 }
 
-fn read_responses(reader: impl BufRead) -> Vec<ScheduleResponse> {
+fn read_responses(reader: impl BufRead) -> (Vec<ScheduleResponse>, Vec<Json>) {
     let mut out = Vec::new();
+    let mut metrics = Vec::new();
     for line in reader.lines() {
         let line = line.expect("read responses");
         let text = line.trim();
@@ -112,7 +148,10 @@ fn read_responses(reader: impl BufRead) -> Vec<ScheduleResponse> {
             std::process::exit(1);
         });
         if j.get("cmd").is_some() {
-            continue; // stats frames pass through unchecked
+            if j.get("cmd").and_then(Json::as_str) == Some("metrics") {
+                metrics.push(j);
+            }
+            continue; // other command frames pass through unchecked
         }
         match proto::response_from_json(&j) {
             Ok(r) => out.push(r),
@@ -122,12 +161,13 @@ fn read_responses(reader: impl BufRead) -> Vec<ScheduleResponse> {
             }
         }
     }
-    out
+    (out, metrics)
 }
 
 fn drive_tcp(opts: &Opts, addr: &str) {
     let reqs = mixed_workload(opts.n, opts.repeat, opts.seed);
     let total = reqs.len();
+    let want_metrics = opts.metrics;
     let stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
         eprintln!("[grip-client] cannot connect to {addr}: {e}");
         std::process::exit(1);
@@ -135,11 +175,17 @@ fn drive_tcp(opts: &Opts, addr: &str) {
     let reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
     let t0 = std::time::Instant::now();
     // Writer thread streams every request; the server pipelines across
-    // its shards and answers in order.
+    // its shards and answers in order. With --metrics the two probe
+    // commands follow the sweep, so their answers arrive last.
     let writer = std::thread::spawn(move || {
         let mut w = BufWriter::new(stream.try_clone().expect("clone stream"));
         for req in reqs {
             writeln!(w, "{}", proto::request_to_json(&req).line()).expect("send request");
+        }
+        if want_metrics {
+            for line in metrics_probe_lines() {
+                writeln!(w, "{line}").expect("send metrics probe");
+            }
         }
         w.flush().expect("flush requests");
         // Dropping a try_clone'd handle does NOT close the socket (the
@@ -148,8 +194,10 @@ fn drive_tcp(opts: &Opts, addr: &str) {
         let _ = stream.shutdown(std::net::Shutdown::Write);
     });
     let mut responses = Vec::with_capacity(total);
+    let mut metrics = Vec::new();
     let mut lines = reader.lines();
-    while responses.len() < total {
+    let expected_metrics = if opts.metrics { metrics_probe_lines().len() } else { 0 };
+    while responses.len() < total || metrics.len() < expected_metrics {
         match lines.next() {
             Some(Ok(line)) => {
                 let text = line.trim();
@@ -161,6 +209,9 @@ fn drive_tcp(opts: &Opts, addr: &str) {
                     std::process::exit(1);
                 });
                 if j.get("cmd").is_some() {
+                    if j.get("cmd").and_then(Json::as_str) == Some("metrics") {
+                        metrics.push(j);
+                    }
                     continue;
                 }
                 responses.push(proto::response_from_json(&j).unwrap_or_else(|e| {
@@ -178,10 +229,93 @@ fn drive_tcp(opts: &Opts, addr: &str) {
         }
     }
     writer.join().expect("writer thread");
-    finish(opts, &responses, Some(t0.elapsed()));
+    finish(opts, &responses, &metrics, Some(t0.elapsed()));
 }
 
-fn finish(opts: &Opts, responses: &[ScheduleResponse], wall: Option<std::time::Duration>) {
+/// Validate the `metrics` command answers: the JSON snapshot must carry
+/// nonzero request and scheduler-stage counters, and the Prometheus text
+/// must pass the line-format lint. Returns a description of the first
+/// problem.
+fn check_metrics_frames(frames: &[Json]) -> Result<(), String> {
+    let snapshot = frames
+        .iter()
+        .find_map(|f| f.get("metrics"))
+        .ok_or("no JSON metrics frame seen (is the server instrumented?)")?;
+    let counter = |name: &str| snapshot.get(name).and_then(Json::as_i64).unwrap_or(0);
+    for name in ["grip_requests_total", "grip_iterations_total", "grip_moves_committed_total"] {
+        if counter(name) <= 0 {
+            return Err(format!("stage counter {name} is zero in the metrics snapshot"));
+        }
+    }
+    for stage in ["prepare", "schedule"] {
+        let count = snapshot
+            .get(&format!("grip_stage_self_ns_{stage}"))
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_i64)
+            .unwrap_or(0);
+        if count <= 0 {
+            return Err(format!("stage histogram grip_stage_self_ns_{stage} has no samples"));
+        }
+    }
+    let text = frames
+        .iter()
+        .find(|f| f.get("format").and_then(Json::as_str) == Some("prometheus"))
+        .and_then(|f| f.get("text"))
+        .and_then(Json::as_str)
+        .ok_or("no Prometheus metrics frame seen")?;
+    prometheus_lint(text).map_err(|e| format!("Prometheus exposition failed the lint: {e}"))?;
+    if !text.contains("grip_requests_total") {
+        return Err("Prometheus exposition is missing grip_requests_total".to_string());
+    }
+    Ok(())
+}
+
+/// Render the `--latency-summary` block: a log2 latency histogram over
+/// all responses plus the cold/hit split.
+fn latency_summary(responses: &[ScheduleResponse]) -> String {
+    use std::fmt::Write as _;
+    let all = Histogram::new();
+    let cold = Histogram::new();
+    let hit = Histogram::new();
+    for r in responses {
+        all.record(r.wall_ns);
+        match r.cache {
+            CacheStatus::Hit => hit.record(r.wall_ns),
+            _ => cold.record(r.wall_ns),
+        }
+    }
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let mut s = String::new();
+    let _ = writeln!(s, "request latency ({} responses, log2 buckets):", responses.len());
+    let buckets = all.buckets();
+    let width = buckets.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let lo = if i == 0 { 0 } else { bucket_bound(i - 1) + 1 };
+        let bar = "#".repeat(((c as f64 / width as f64) * 40.0).ceil() as usize);
+        let _ =
+            writeln!(s, "  [{:>12.1} .. {:>12.1}] us {:>6}  {bar}", us(lo), us(bucket_bound(i)), c);
+    }
+    for (label, h) in [("cold", &cold), ("hit", &hit)] {
+        let _ = writeln!(
+            s,
+            "  {label:<4} {:>6} responses, p50 ~{:.1} us, p99 ~{:.1} us",
+            h.count(),
+            us(h.quantile(0.50)),
+            us(h.quantile(0.99)),
+        );
+    }
+    s
+}
+
+fn finish(
+    opts: &Opts,
+    responses: &[ScheduleResponse],
+    metrics: &[Json],
+    wall: Option<std::time::Duration>,
+) {
     let mut violations = 0usize;
     for r in responses {
         let bad = !r.ok || !r.verified || r.sched_stalls != 0 || r.template_violations != 0;
@@ -201,8 +335,9 @@ fn finish(opts: &Opts, responses: &[ScheduleResponse], wall: Option<std::time::D
     }
     let hits = responses.iter().filter(|r| r.cache == CacheStatus::Hit).count();
     let ddg_hits = responses.iter().filter(|r| r.cache == CacheStatus::DdgHit).count();
-    let mut lat: Vec<u64> = responses.iter().map(|r| r.wall_us).collect();
-    lat.sort_unstable();
+    let mut lat_ns: Vec<u64> = responses.iter().map(|r| r.wall_ns).collect();
+    lat_ns.sort_unstable();
+    let us = |ns: u64| ns as f64 / 1000.0;
     let summary = Json::obj()
         .field("responses", responses.len())
         .field("violations", violations)
@@ -212,8 +347,8 @@ fn finish(opts: &Opts, responses: &[ScheduleResponse], wall: Option<std::time::D
             "hit_rate",
             if responses.is_empty() { 0.0 } else { hits as f64 / responses.len() as f64 },
         )
-        .field("p50_us", percentile(&lat, 0.50))
-        .field("p99_us", percentile(&lat, 0.99));
+        .field("p50_us", us(percentile(&lat_ns, 0.50)))
+        .field("p99_us", us(percentile(&lat_ns, 0.99)));
     let summary = match wall {
         Some(d) => summary.field("wall_s", d.as_secs_f64()).field(
             "requests_per_sec",
@@ -222,6 +357,9 @@ fn finish(opts: &Opts, responses: &[ScheduleResponse], wall: Option<std::time::D
         None => summary,
     };
     println!("{}", summary.line());
+    if opts.latency_summary {
+        print!("{}", latency_summary(responses));
+    }
     if responses.is_empty() {
         eprintln!("[grip-client] no responses seen");
         std::process::exit(1);
@@ -232,6 +370,13 @@ fn finish(opts: &Opts, responses: &[ScheduleResponse], wall: Option<std::time::D
     if opts.expect_hits && hits == 0 {
         eprintln!("[grip-client] expected schedule-cache hits, saw none");
         std::process::exit(1);
+    }
+    if opts.metrics {
+        if let Err(e) = check_metrics_frames(metrics) {
+            eprintln!("[grip-client] metrics check failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[grip-client] metrics OK: stage counters nonzero, Prometheus lint clean");
     }
     eprintln!("[grip-client] OK: {} responses, {hits} cache hits, 0 violations", responses.len());
 }

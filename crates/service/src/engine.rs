@@ -28,7 +28,6 @@ use grip_machine::MachineDesc;
 use grip_pipeline::{prepare, schedule_window, PipelineOptions, PreparedWindow};
 use grip_vm::{EquivReport, Machine};
 use std::rc::Rc;
-use std::time::Instant;
 
 /// The unwind factor used when a request does not pin one: enough
 /// iterations to fill a machine of the given width (§1's argument for
@@ -146,11 +145,32 @@ impl Engine {
     /// Serve one request. Infallible at this level: failures come back as
     /// `ok == false` responses.
     pub fn process(&mut self, shard: usize, req: &ScheduleRequest) -> ScheduleResponse {
-        let t0 = Instant::now();
         self.processed += 1;
-        let mut resp = self.process_inner(req);
+        grip_obs::counter!("grip_requests_total").inc();
+        grip_obs::gauge!("grip_requests_inflight").add(1);
+        // The stage collector gathers prepare/schedule/hazards/verify
+        // self times from the spans the pipeline and core crates open;
+        // its total is the request wall time (same clock, same interval,
+        // so the per-stage sum is comparable against it).
+        let (mut resp, timings) = grip_obs::collect(|| self.process_inner(req));
+        grip_obs::gauge!("grip_requests_inflight").add(-1);
+        grip_obs::histogram!("grip_request_wall_ns").record(timings.total_ns);
+        match resp.cache {
+            CacheStatus::Hit => grip_obs::counter!("grip_cache_sched_hits_total").inc(),
+            CacheStatus::DdgHit => grip_obs::counter!("grip_cache_ddg_hits_total").inc(),
+            CacheStatus::Miss => grip_obs::counter!("grip_cache_misses_total").inc(),
+        }
         resp.shard = shard;
-        resp.wall_us = t0.elapsed().as_micros() as u64;
+        resp.wall_ns = timings.total_ns;
+        // Per-delivery observability fields: a cache hit must report
+        // *this* request's timings and trace, not the cold run's. The
+        // breakdown is opt-in (`want_timings`) so the default wire
+        // response does not grow.
+        resp.timings = req.want_timings.then(|| grip_obs::StageBreakdown::from_timings(&timings));
+        resp.trace_id = match &req.trace {
+            Some(t) => t.clone(),
+            None => format!("s{shard}-{}", self.processed),
+        };
         resp
     }
 
@@ -190,6 +210,7 @@ impl Engine {
         let kernel_hash = match self.hash_memo.get(&hkey).copied() {
             Some(h) => h,
             None => {
+                let _span = grip_obs::span!("build");
                 let g = (kernel.build)(req.n);
                 let h = graph_fingerprint(&g);
                 self.hash_memo.insert(hkey, h);
@@ -210,7 +231,10 @@ impl Engine {
             resp.cache = CacheStatus::Hit;
             return resp;
         }
-        let g0 = g0.unwrap_or_else(|| (kernel.build)(req.n));
+        let g0 = g0.unwrap_or_else(|| {
+            let _span = grip_obs::span!("build");
+            (kernel.build)(req.n)
+        });
 
         // Prepared-window (DDG) cache: machine-independent, so a request
         // for a new machine at a known (kernel, unwind) skips unwinding,
@@ -242,8 +266,11 @@ impl Engine {
             },
         );
 
-        let (verified, seq_cycles, sched_cycles, sched_stalls, template_violations, state_digest) =
-            verify(kernel, &g0, &g, req.n, &desc);
+        let (verified, seq_cycles, sched_cycles, sched_stalls, template_violations, state_digest) = {
+            let _span = grip_obs::span!("verify");
+            grip_obs::counter!("grip_verify_runs_total").inc();
+            verify(kernel, &g0, &g, req.n, &desc)
+        };
 
         let resp = ScheduleResponse {
             id: req.id,
@@ -270,8 +297,10 @@ impl Engine {
             verified,
             state_digest,
             cache: if ddg_hit { CacheStatus::DdgHit } else { CacheStatus::Miss },
-            wall_us: 0,
+            wall_ns: 0,
             shard: 0,
+            trace_id: String::new(),
+            timings: None,
         };
         self.sched_cache.insert(skey, resp.clone());
         resp

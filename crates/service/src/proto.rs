@@ -6,19 +6,28 @@
 //! ```json
 //! {"id":1,"kernel":"LL3","n":48,"machine":"epic8"}
 //! {"id":2,"kernel":"LL5","n":48,"machine":{"width":8,"slots":{"alu":4,"fpu":4,"mem":2},"latency":{"fpu":4,"fpu_long":16,"mem":2}},"unwind":12}
+//! {"id":3,"kernel":"LL1","n":48,"machine":"scalar","trace":"req-abc","timings":true}
 //! {"cmd":"stats"}
+//! {"cmd":"metrics"}
+//! {"cmd":"metrics","format":"prometheus"}
 //! ```
 //!
 //! `machine` is a preset name or an inline description (missing slot caps
 //! mean uncapped, missing latencies mean one cycle). `unwind` and the four
-//! option toggles are optional. `{"cmd":"stats"}` answers with the
-//! aggregate cache counters after all in-flight requests drain.
+//! option toggles are optional, as are `trace` (a client-chosen trace id,
+//! echoed back; absent ids are shard-assigned) and `timings` (opt into a
+//! per-stage breakdown on the response). `{"cmd":"stats"}` answers with
+//! the aggregate cache counters after all in-flight requests drain;
+//! `{"cmd":"metrics"}` dumps the process-wide metrics registry (JSON, or
+//! Prometheus text with `"format":"prometheus"`).
 //!
 //! Responses echo the request `id` and carry the full measurement
 //! (cycles, stalls, scheduler counters, fingerprints, verification flag,
-//! cache status, wall time). Lines are written in request order; the
-//! server keeps a pipeline window in flight across shards, so ordered
-//! output does not serialize the pool.
+//! cache status, wall time in nanoseconds plus fractional microseconds,
+//! the trace id, and — when requested — the per-stage `timings` object).
+//! Lines are written in request order; the server keeps a pipeline window
+//! in flight across shards, so ordered output does not serialize the
+//! pool.
 
 use crate::engine::default_unwind;
 use crate::fingerprint;
@@ -81,6 +90,12 @@ pub fn request_to_json(req: &ScheduleRequest) -> Json {
         .field("machine", machine);
     if let Some(u) = req.unwind {
         j = j.field("unwind", u);
+    }
+    if let Some(t) = &req.trace {
+        j = j.field("trace", t.as_str());
+    }
+    if req.want_timings {
+        j = j.field("timings", true);
     }
     let d = EngineOptions::default();
     let o = req.options;
@@ -178,6 +193,12 @@ pub fn request_from_json(j: &Json) -> Result<ScheduleRequest, String> {
     options.gap_prevention = flag("gap_prevention", options.gap_prevention)?;
     options.dce = flag("dce", options.dce)?;
     options.try_roll = flag("try_roll", options.try_roll)?;
+    let trace = match j.get("trace") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(t)) => Some(t.clone()),
+        Some(_) => return Err("\"trace\" must be a string".to_string()),
+    };
+    let want_timings = flag("timings", false)?;
     Ok(ScheduleRequest {
         id: j.get("id").and_then(Json::as_i64).unwrap_or(0) as u64,
         kernel,
@@ -185,6 +206,8 @@ pub fn request_from_json(j: &Json) -> Result<ScheduleRequest, String> {
         machine,
         unwind,
         options,
+        trace,
+        want_timings,
     })
 }
 
@@ -234,13 +257,18 @@ fn stats_from_json(j: Option<&Json>) -> ScheduleStats {
     }
 }
 
-/// Serialize a response to its wire object.
+/// Serialize a response to its wire object. `wall_ns` is the source of
+/// truth (integer nanoseconds); `wall_us` rides along as fractional
+/// microseconds for human readers, so cache hits no longer flatten to
+/// `0`. The `timings` breakdown is emitted only when the request opted
+/// in (`"timings": true`).
 pub fn response_to_json(r: &ScheduleResponse) -> Json {
     let mut j = Json::obj().field("id", r.id).field("ok", r.ok);
     if let Some(e) = &r.error {
         j = j.field("error", e.as_str());
     }
-    j.field("kernel", r.kernel.as_str())
+    let j = j
+        .field("kernel", r.kernel.as_str())
         .field("machine", r.machine.as_str())
         .field("n", r.n as u64)
         .field("unwind", r.unwind)
@@ -256,9 +284,23 @@ pub fn response_to_json(r: &ScheduleResponse) -> Json {
         .field("verified", r.verified)
         .field("state_digest", fingerprint::hex(r.state_digest))
         .field("cache", r.cache.as_str())
-        .field("wall_us", r.wall_us)
+        .field("wall_ns", r.wall_ns)
+        .field("wall_us", r.wall_ns as f64 / 1000.0)
         .field("shard", r.shard)
-        .field("stats", stats_to_json(&r.stats))
+        .field("trace", r.trace_id.as_str())
+        .field("stats", stats_to_json(&r.stats));
+    match &r.timings {
+        Some(t) => j.field(
+            "timings",
+            Json::obj()
+                .field("prepare_ns", t.prepare_ns)
+                .field("schedule_ns", t.schedule_ns)
+                .field("hazards_ns", t.hazards_ns)
+                .field("verify_ns", t.verify_ns)
+                .field("total_ns", t.total_ns),
+        ),
+        None => j,
+    }
 }
 
 /// Parse a wire object back into a response (what `grip-client` does with
@@ -298,8 +340,24 @@ pub fn response_from_json(j: &Json) -> Result<ScheduleResponse, String> {
             .and_then(Json::as_str)
             .and_then(CacheStatus::parse)
             .unwrap_or(CacheStatus::Miss),
-        wall_us: int("wall_us") as u64,
+        // `wall_ns` is authoritative; fall back to the fractional
+        // microsecond field for responses from older peers.
+        wall_ns: match j.get("wall_ns") {
+            Some(v) => v.as_i64().unwrap_or(0) as u64,
+            None => (fl("wall_us").max(0.0) * 1000.0) as u64,
+        },
         shard: int("shard") as usize,
+        trace_id: j.get("trace").and_then(Json::as_str).unwrap_or("").to_string(),
+        timings: j.get("timings").map(|t| {
+            let ns = |name: &str| t.get(name).and_then(Json::as_i64).unwrap_or(0) as u64;
+            grip_obs::StageBreakdown {
+                prepare_ns: ns("prepare_ns"),
+                schedule_ns: ns("schedule_ns"),
+                hazards_ns: ns("hazards_ns"),
+                verify_ns: ns("verify_ns"),
+                total_ns: ns("total_ns"),
+            }
+        }),
     })
 }
 
@@ -396,6 +454,22 @@ pub fn serve_lines(
                                 .field("stats", service.stats().to_json());
                             send(&frames, Frame::Line(out.line()));
                         }
+                        // `{"cmd":"metrics"}` dumps the process-wide
+                        // grip-obs registry (stage histograms, pass
+                        // counters, cache counters) as JSON, or — with
+                        // `"format":"prometheus"` — as a Prometheus text
+                        // exposition in the `text` field.
+                        Some("metrics") => {
+                            let snap = grip_obs::global().snapshot();
+                            let out = Json::obj().field("cmd", "metrics").field("ok", true);
+                            let out = match j.get("format").and_then(Json::as_str) {
+                                Some("prometheus") => out
+                                    .field("format", "prometheus")
+                                    .field("text", snap.to_prometheus()),
+                                _ => out.field("metrics", snap.to_json()),
+                            };
+                            send(&frames, Frame::Line(out.line()));
+                        }
                         other => {
                             summary.rejected += 1;
                             let out = Json::obj()
@@ -473,6 +547,8 @@ mod tests {
         req.id = 42;
         req.unwind = Some(9);
         req.options.try_roll = true;
+        req.trace = Some("client-trace-7".into());
+        req.want_timings = true;
         let j = request_to_json(&req);
         let back = request_from_json(&Json::parse(&j.line()).unwrap()).unwrap();
         assert_eq!(back, req);
@@ -560,14 +636,21 @@ mod tests {
     #[test]
     fn responses_round_trip_bit_identically() {
         let svc = Service::new(ServiceConfig { shards: 1, ..Default::default() });
-        let resp =
-            svc.submit(ScheduleRequest::new("LL3", 16, MachineSpec::Preset("clustered".into())));
+        let mut req = ScheduleRequest::new("LL3", 16, MachineSpec::Preset("clustered".into()));
+        req.want_timings = true;
+        let resp = svc.submit(req);
         assert!(resp.ok && resp.verified);
         let j = response_to_json(&resp);
         let back = response_from_json(&Json::parse(&j.line()).unwrap()).unwrap();
         assert!(back.bits_eq(&resp), "wire round-trip must not lose bits");
-        assert_eq!(back.wall_us, resp.wall_us);
+        assert_eq!(back.wall_ns, resp.wall_ns, "nanosecond wall time is lossless");
         assert_eq!(back.shard, resp.shard);
         assert_eq!(back.cache, resp.cache);
+        assert_eq!(back.trace_id, resp.trace_id, "shard-assigned trace id survives");
+        assert!(!back.trace_id.is_empty());
+        assert_eq!(back.timings, resp.timings, "opted-in stage breakdown survives");
+        let t = back.timings.expect("requested timings");
+        assert!(t.total_ns > 0);
+        assert!(t.schedule_ns > 0, "a cold schedule spends time scheduling: {t:?}");
     }
 }

@@ -3,6 +3,7 @@
 
 use grip_core::ScheduleStats;
 use grip_machine::{LatencyTable, MachineDesc, UNCAPPED};
+use grip_obs::StageBreakdown;
 
 /// Which machine a request schedules for.
 #[derive(Clone, Debug, PartialEq)]
@@ -111,6 +112,12 @@ pub struct ScheduleRequest {
     pub unwind: Option<usize>,
     /// Pipeline toggles.
     pub options: EngineOptions,
+    /// Client-supplied trace id, echoed on the response; `None` lets the
+    /// serving shard assign one (`s<shard>-<seq>`).
+    pub trace: Option<String>,
+    /// Opt in to the per-stage `timings` breakdown on the wire response
+    /// (in-process responses always carry it).
+    pub want_timings: bool,
 }
 
 impl ScheduleRequest {
@@ -124,6 +131,8 @@ impl ScheduleRequest {
             machine,
             unwind: None,
             options: EngineOptions::default(),
+            trace: None,
+            want_timings: false,
         }
     }
 }
@@ -163,9 +172,10 @@ impl CacheStatus {
 
 /// The answer to one [`ScheduleRequest`].
 ///
-/// Everything except the per-delivery fields (`id`, `cache`, `wall_us`,
-/// `shard`) is a pure function of the request content — that is the
-/// cache-correctness invariant, checked by [`ScheduleResponse::bits_eq`].
+/// Everything except the per-delivery fields (`id`, `cache`, `wall_ns`,
+/// `shard`, `trace_id`, `timings`) is a pure function of the request
+/// content — that is the cache-correctness invariant, checked by
+/// [`ScheduleResponse::bits_eq`].
 #[derive(Clone, Debug)]
 pub struct ScheduleResponse {
     /// Echoed request id.
@@ -210,10 +220,19 @@ pub struct ScheduleResponse {
     pub state_digest: u64,
     /// How this response was produced.
     pub cache: CacheStatus,
-    /// Service-side wall time for this request, in microseconds.
-    pub wall_us: u64,
+    /// Service-side wall time for this request, in **nanoseconds**
+    /// (recorded at full clock resolution so cache hits — single-digit
+    /// microseconds — stay measurable; the wire emits fractional
+    /// microseconds alongside).
+    pub wall_ns: u64,
     /// Shard that served the request.
     pub shard: usize,
+    /// Trace id: the request's, or shard-assigned (`s<shard>-<seq>`).
+    pub trace_id: String,
+    /// Per-stage self-time breakdown of serving this request (stages are
+    /// ~zero on a schedule-cache hit). Present iff the request opted in
+    /// via [`ScheduleRequest::want_timings`].
+    pub timings: Option<StageBreakdown>,
 }
 
 impl ScheduleResponse {
@@ -240,15 +259,17 @@ impl ScheduleResponse {
             verified: false,
             state_digest: 0,
             cache: CacheStatus::Miss,
-            wall_us: 0,
+            wall_ns: 0,
             shard: 0,
+            trace_id: String::new(),
+            timings: None,
         }
     }
 
     /// Bitwise content equality: every field that must be identical
     /// between a cache hit and a cold run (floats compared by bit
-    /// pattern; the per-delivery fields `id`/`cache`/`wall_us`/`shard`
-    /// excluded).
+    /// pattern; the per-delivery fields
+    /// `id`/`cache`/`wall_ns`/`shard`/`trace_id`/`timings` excluded).
     pub fn bits_eq(&self, other: &ScheduleResponse) -> bool {
         self.ok == other.ok
             && self.error == other.error

@@ -41,7 +41,16 @@ fn random_request(state: &mut u64, id: u64) -> ScheduleRequest {
     if splitmix64(state) % 4 == 0 {
         options.fold_inductions = false;
     }
-    ScheduleRequest { id, kernel: kernel.to_string(), n, machine, unwind, options }
+    ScheduleRequest {
+        id,
+        kernel: kernel.to_string(),
+        n,
+        machine,
+        unwind,
+        options,
+        trace: None,
+        want_timings: false,
+    }
 }
 
 /// Property: for a seeded random request stream served by one warm

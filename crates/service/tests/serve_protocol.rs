@@ -72,7 +72,12 @@ fn grip_serve_speaks_the_protocol() {
             Json::Obj(fields) => Json::Obj(
                 fields
                     .iter()
-                    .filter(|(k, _)| !matches!(k.as_str(), "id" | "cache" | "wall_us" | "shard"))
+                    .filter(|(k, _)| {
+                        !matches!(
+                            k.as_str(),
+                            "id" | "cache" | "wall_ns" | "wall_us" | "shard" | "trace" | "timings"
+                        )
+                    })
                     .cloned()
                     .collect(),
             )
@@ -94,4 +99,76 @@ fn grip_serve_speaks_the_protocol() {
     let s = stats.get("stats").expect("stats payload");
     assert_eq!(s.get("processed").and_then(Json::as_i64), Some(sent.len() as i64));
     assert_eq!(s.get("sched_hits").and_then(Json::as_i64), Some(hits as i64));
+}
+
+/// Observability surface over the same binary: a client-supplied trace id
+/// comes back on the matching response, opting into `timings` yields a
+/// per-stage breakdown that sums into the wall time, and the `metrics`
+/// command answers with a grip-json-parseable snapshot carrying nonzero
+/// scheduler counters (plus a lintable Prometheus form).
+#[test]
+fn grip_serve_answers_traces_timings_and_metrics() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_grip-serve"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn grip-serve");
+
+    let mut stdin = child.stdin.take().expect("stdin");
+    writeln!(
+        stdin,
+        "{{\"id\":1,\"kernel\":\"LL5\",\"n\":12,\"machine\":\"epic8\",\
+         \"trace\":\"req-abc-123\",\"timings\":true}}"
+    )
+    .expect("write traced request");
+    writeln!(stdin, "{{\"id\":2,\"kernel\":\"LL1\",\"n\":12,\"machine\":\"uniform4\"}}")
+        .expect("write untraced request");
+    writeln!(stdin, "{{\"cmd\":\"metrics\"}}").expect("write metrics cmd");
+    writeln!(stdin, "{{\"cmd\":\"metrics\",\"format\":\"prometheus\"}}")
+        .expect("write prometheus cmd");
+    drop(stdin);
+
+    let out = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut responses: Vec<Json> = Vec::new();
+    let mut metrics: Vec<Json> = Vec::new();
+    for line in out.lines() {
+        let line = line.expect("read response");
+        let j = Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        if j.get("cmd").is_some() {
+            metrics.push(j);
+        } else {
+            responses.push(j);
+        }
+    }
+    assert!(child.wait().expect("wait").success());
+    assert_eq!(responses.len(), 2);
+    assert_eq!(metrics.len(), 2);
+
+    // Trace id: the client-supplied one comes back verbatim; the
+    // untraced request gets a shard-assigned id.
+    assert_eq!(responses[0].get("trace").and_then(Json::as_str), Some("req-abc-123"));
+    let assigned = responses[1].get("trace").and_then(Json::as_str).expect("assigned trace id");
+    assert!(!assigned.is_empty() && assigned != "req-abc-123");
+
+    // Timings: present only where requested, decompose the wall time.
+    let t = responses[0].get("timings").expect("timings on opted-in response");
+    let stage = |k: &str| t.get(k).and_then(Json::as_i64).expect(k);
+    let sum = stage("prepare_ns") + stage("schedule_ns") + stage("hazards_ns") + stage("verify_ns");
+    let total = stage("total_ns");
+    assert!(total > 0 && sum <= total, "stage sum {sum} must fit in total {total}");
+    let wall_ns = responses[0].get("wall_ns").and_then(Json::as_i64).expect("wall_ns");
+    assert_eq!(wall_ns, total, "wall_ns is the collected total");
+    assert!(responses[1].get("timings").is_none(), "timings are opt-in");
+
+    // Metrics: JSON snapshot parses (it already did, via grip-json) and
+    // carries nonzero scheduler counters; Prometheus text form returns.
+    let snap = metrics[0].get("metrics").expect("metrics snapshot");
+    for name in ["grip_requests_total", "grip_schedules_total", "grip_iterations_total"] {
+        let v = snap.get(name).and_then(Json::as_i64).unwrap_or(0);
+        assert!(v > 0, "{name} should be nonzero after two requests, got {v}");
+    }
+    let text = metrics[1].get("text").and_then(Json::as_str).expect("prometheus text");
+    grip_obs::metrics::prometheus_lint(text).expect("prometheus lint");
+    assert!(text.contains("grip_requests_total 2"));
 }

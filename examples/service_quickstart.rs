@@ -32,14 +32,14 @@ fn main() {
         assert!(r.verified, "every schedule is VM-verified against the sequential program");
         assert_eq!(r.sched_stalls, 0, "schedules are stall-free by construction");
         println!(
-            "{:<6} {:<10} {:>5} {:>9} {:>9} {:>8.2} {:>8}  {}",
+            "{:<6} {:<10} {:>5} {:>9} {:>9} {:>8.2} {:>8.1}  {}",
             r.kernel,
             r.machine,
             r.schedule_rows,
             r.seq_cycles,
             r.sched_cycles,
             r.speedup,
-            r.wall_us,
+            r.wall_ns as f64 / 1000.0,
             r.cache.as_str(),
         );
     }
@@ -51,12 +51,12 @@ fn main() {
         assert_eq!(hot.cache, CacheStatus::Hit);
         assert!(hot.bits_eq(cold), "cache hits are bit-identical to cold runs");
         println!(
-            "{:<6} {:<10} repeat: {} in {} us (cold took {} us)",
+            "{:<6} {:<10} repeat: {} in {:.1} us (cold took {:.1} us)",
             hot.kernel,
             hot.machine,
             hot.cache.as_str(),
-            hot.wall_us,
-            cold.wall_us
+            hot.wall_ns as f64 / 1000.0,
+            cold.wall_ns as f64 / 1000.0
         );
     }
 
