@@ -55,6 +55,18 @@ impl BitSet {
         changed
     }
 
+    /// `self &= other`; returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.bits, other.bits);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
     /// Remove all elements.
     pub fn clear(&mut self) {
         self.words.fill(0);
@@ -123,6 +135,19 @@ mod tests {
         assert!(a.union_with(&b));
         assert!(!a.union_with(&b));
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 64]);
+    }
+
+    #[test]
+    fn intersect() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(64);
+        b.insert(64);
+        b.insert(99);
+        assert!(a.intersect_with(&b));
+        assert!(!a.intersect_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![64]);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!   dependent count, with the Perfect-Pipelining iteration-major rule).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod affine;
 mod bitset;

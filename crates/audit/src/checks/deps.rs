@@ -1,0 +1,131 @@
+//! GA001 — dependence preservation.
+//!
+//! The source DDG's op ids are the `orig` ancestors of every scheduled
+//! instance, so each dependence `a → b` is re-found in the schedule by
+//! locating the rows holding instances of `b` and asking whether `a` is
+//! **must-complete** at their entry: present on every path from program
+//! entry, through unwound iterations, the loop back edge, and exit fix-up
+//! chains alike.
+//!
+//! Only *memory* dependences (flow, anti, output) are enforced here, for
+//! the same reason the scheduler itself only consults the DDG for them:
+//! they cannot be renamed away. Register flow dependences are legally
+//! dissolved and re-routed by renaming (the producer writes a fresh
+//! register, a copy chain delivers the value), merged across alternative
+//! exit fix-up chains, and over-approximated by the linearized last-def
+//! scan across mutually exclusive paths — so their post-schedule form is
+//! not an op-to-op ordering at all but a dataflow property: every read
+//! sees a definition on every path. That property is exactly what GA004's
+//! value-integrity analysis proves; an inverted register dependence
+//! surfaces there as a use-before-def. This check still walks the
+//! register edges to count them (and to keep the coverage numbers
+//! honest), but orders only the memory pairs.
+
+use super::{must_forward, row_reaches};
+use crate::report::{AuditCode, Diagnostic};
+use crate::Ctx;
+use grip_analysis::Ddg;
+use grip_ir::{OpId, OpKind};
+use std::collections::HashMap;
+
+/// The dependence class of a memory edge, for messages.
+fn class_of(ka: OpKind, kb: OpKind) -> &'static str {
+    match (ka.is_store(), kb.is_store()) {
+        (true, false) => "memory flow",
+        (false, true) => "memory anti",
+        (true, true) => "memory output",
+        (false, false) => "memory",
+    }
+}
+
+/// Run the check; returns `(mem_deps, reg_deps)` examined.
+pub(crate) fn check(ctx: &Ctx, ddg: &Ddg, out: &mut Vec<Diagnostic>) -> (usize, usize) {
+    // Must-complete orig ids at each row's entry.
+    let ins = must_forward(ctx, ctx.g.op_table_len(), |i, leaf, set| {
+        for &(p, op) in &ctx.placed[i] {
+            if p.is_prefix_of(leaf) {
+                set.insert(ctx.g.op(op).orig.index());
+            }
+        }
+    });
+    // Rows holding an instance of each surviving orig.
+    let mut instances: HashMap<OpId, Vec<usize>> = HashMap::new();
+    for (i, placed) in ctx.placed.iter().enumerate() {
+        for &(_, op) in placed {
+            let rows = instances.entry(ctx.g.op(op).orig).or_default();
+            if rows.last() != Some(&i) {
+                rows.push(i);
+            }
+        }
+    }
+
+    let (mut mem_deps, mut reg_deps) = (0usize, 0usize);
+    for &a in ddg.order() {
+        for &b in ddg.succs(a) {
+            if !ddg.mem_dep(a, b) {
+                reg_deps += 1;
+                continue; // register flow: enforced via GA004's dataflow
+            }
+            mem_deps += 1;
+            let Some(b_rows) = instances.get(&b) else {
+                continue; // consumer dead-code removed: nothing left to order
+            };
+            let (ka, kb) = (ctx.g.op(a).kind, ctx.g.op(b).kind);
+            let class = class_of(ka, kb);
+            let Some(a_rows) = instances.get(&a) else {
+                // A memory producer may only vanish from the anti side —
+                // a dead-code-removed load. A missing store is a lost write.
+                if !ka.is_load() {
+                    out.push(Diagnostic {
+                        code: AuditCode::DependenceInversion,
+                        row: b_rows[0],
+                        op: Some(ctx.label(b)),
+                        register: None,
+                        message: format!(
+                            "{class} dependence {} -> {}: the producer store has no \
+                             scheduled instance",
+                            ctx.label(a),
+                            ctx.label(b)
+                        ),
+                    });
+                }
+                continue;
+            };
+            let abit = a.index();
+            // A co-resident anti pair is legal: the load fetches at row
+            // entry, the store commits after.
+            let anti = ka.is_load();
+            for &rb in b_rows {
+                if ins[rb].as_ref().is_some_and(|s| s.contains(abit)) {
+                    continue; // proven complete on every path to this row
+                }
+                let co_resident = a_rows.binary_search(&rb).is_ok();
+                if anti && co_resident {
+                    continue;
+                }
+                let ordered_somewhere = co_resident
+                    || a_rows.iter().any(|&ra| row_reaches(ctx, ra, rb))
+                    || a_rows.iter().any(|&ra| row_reaches(ctx, rb, ra));
+                if !ordered_somewhere {
+                    // No execution runs both sides in order: a fictitious
+                    // linearization pair across exclusive paths.
+                    continue;
+                }
+                out.push(Diagnostic {
+                    code: AuditCode::DependenceInversion,
+                    row: rb,
+                    op: Some(ctx.label(b)),
+                    register: None,
+                    message: format!(
+                        "{class} dependence {} -> {}: producer not complete on every \
+                         path to row {rb}{}",
+                        ctx.label(a),
+                        ctx.label(b),
+                        if co_resident { " (pair collapsed into one row)" } else { "" }
+                    ),
+                });
+            }
+        }
+    }
+    (mem_deps, reg_deps)
+}

@@ -1,0 +1,106 @@
+//! GA002 — latency shadows.
+//!
+//! A countdown dataflow over the scheduled rows, derived from
+//! [`grip_machine::MachineDesc::latency_of`] alone: when a row defines a
+//! register on a machine where that op takes `L > 1` cycles, the next
+//! `L - 1` rows along every path lie in its latency shadow, and any read
+//! of the register there would interlock (or worse). This is the static
+//! twin of the hazard pass's `scan_hazards` — same semantics (per-row
+//! decrement, per-leaf-path definitions, max-merge at joins, fixpoint over
+//! back edges), independently re-derived from the machine description so
+//! the two implementations share no bookkeeping.
+
+use crate::report::{AuditCode, Diagnostic};
+use crate::Ctx;
+use std::collections::{HashSet, VecDeque};
+
+/// Elementwise max-merge of every predecessor's out-state into a fresh
+/// entry state for row `i` (zeros when nothing is outstanding).
+fn merged_input(ctx: &Ctx, outs: &[Option<Vec<u32>>], i: usize) -> Vec<u32> {
+    let mut acc = vec![0u32; ctx.g.reg_count()];
+    if let Some(preds) = ctx.preds.get(&ctx.nodes[i]) {
+        for p in preds {
+            if let Some(o) = &outs[ctx.row[p]] {
+                for (a, &b) in acc.iter_mut().zip(o) {
+                    *a = (*a).max(b);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// One row's transfer: age every countdown by the row's single cycle,
+/// then install fresh countdowns for definitions along each leaf path
+/// (committed ops are those whose position prefixes the leaf); the row's
+/// out-state is the pointwise max over its leaf paths.
+fn transfer(ctx: &Ctx, i: usize, input: &[u32]) -> Vec<u32> {
+    let dec: Vec<u32> = input.iter().map(|&c| c.saturating_sub(1)).collect();
+    let mut out = vec![0u32; dec.len()];
+    for &(leaf, _) in &ctx.leaves[i] {
+        let mut path = dec.clone();
+        for &(p, op) in &ctx.placed[i] {
+            if p.is_prefix_of(leaf) {
+                let o = ctx.g.op(op);
+                if let Some(d) = o.dest {
+                    let l = ctx.desc.latency_of(o.kind);
+                    path[d.index()] = l.saturating_sub(1);
+                }
+            }
+        }
+        for (a, b) in out.iter_mut().zip(path) {
+            *a = (*a).max(b);
+        }
+    }
+    out
+}
+
+pub(crate) fn check(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    if ctx.desc.max_latency() <= 1 || ctx.nodes.is_empty() {
+        return; // unit-latency machine: no shadows exist
+    }
+    let n = ctx.nodes.len();
+    let mut outs: Vec<Option<Vec<u32>>> = vec![None; n];
+    let mut queue: VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(i) = queue.pop_front() {
+        queued[i] = false;
+        let next = transfer(ctx, i, &merged_input(ctx, &outs, i));
+        if outs[i].as_ref() != Some(&next) {
+            outs[i] = Some(next);
+            for &(_, succ) in &ctx.leaves[i] {
+                if let Some(&j) = succ.and_then(|s| ctx.row.get(&s)) {
+                    if !queued[j] {
+                        queued[j] = true;
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut flagged: HashSet<(usize, usize)> = HashSet::new();
+    for i in 0..n {
+        let input = merged_input(ctx, &outs, i);
+        for &(_, op) in &ctx.placed[i] {
+            let o = ctx.g.op(op);
+            for r in o.reads() {
+                let left = input[r.index()];
+                if left > 0 && flagged.insert((i, r.index())) {
+                    out.push(Diagnostic {
+                        code: AuditCode::LatencyShadow,
+                        row: i,
+                        op: Some(o.label().to_string()),
+                        register: Some(ctx.reg(r)),
+                        message: format!(
+                            "row {i} reads {} inside a producer's latency shadow \
+                             ({left} cycle{} outstanding)",
+                            ctx.reg(r),
+                            if left == 1 { "" } else { "s" }
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The four audit checks, plus the shared "must" dataflow they run on.
+
+pub(crate) mod deps;
+pub(crate) mod latency;
+pub(crate) mod resources;
+pub(crate) mod values;
+
+use crate::Ctx;
+use grip_analysis::BitSet;
+use grip_ir::TreePath;
+use std::collections::VecDeque;
+
+/// Forward **must** dataflow over the scheduled rows.
+///
+/// `in(entry) = ∅`; for every other row, `in(row)` is the intersection over
+/// all incoming `(pred, leaf)` edges of `in(pred) ∪ gen(pred, leaf)` — the
+/// facts guaranteed on *every* path from entry, loop back edges included.
+/// `gen` adds the bits a given leaf path of a row establishes (committed
+/// ops under VLIW tree semantics: positions that prefix the leaf).
+///
+/// Returns the entry set per row. Initialisation is top (`None`) with the
+/// entry pinned at ∅, so chaotic iteration only ever shrinks sets and the
+/// greatest fixpoint is reached.
+pub(crate) fn must_forward(
+    ctx: &Ctx,
+    bits: usize,
+    gen: impl Fn(usize, TreePath, &mut BitSet),
+) -> Vec<Option<BitSet>> {
+    let n = ctx.nodes.len();
+    let mut ins: Vec<Option<BitSet>> = vec![None; n];
+    if n == 0 {
+        return ins;
+    }
+    ins[0] = Some(BitSet::new(bits));
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    let mut queued = vec![false; n];
+    queued[0] = true;
+    while let Some(i) = queue.pop_front() {
+        queued[i] = false;
+        let in_i = ins[i].clone().expect("queued row has an in-set");
+        for &(leaf, succ) in &ctx.leaves[i] {
+            let Some(s) = succ else { continue };
+            let Some(&j) = ctx.row.get(&s) else { continue };
+            if j == 0 {
+                continue; // nothing is "already complete" at program entry
+            }
+            let mut contrib = in_i.clone();
+            gen(i, leaf, &mut contrib);
+            let changed = match &mut ins[j] {
+                Some(cur) => cur.intersect_with(&contrib),
+                slot @ None => {
+                    *slot = Some(contrib);
+                    true
+                }
+            };
+            if changed && !queued[j] {
+                queued[j] = true;
+                queue.push_back(j);
+            }
+        }
+    }
+    ins
+}
+
+/// True when row `to` is reachable from row `from` by one or more control
+/// edges (`from == to` counts only via a cycle).
+pub(crate) fn row_reaches(ctx: &Ctx, from: usize, to: usize) -> bool {
+    let mut seen = vec![false; ctx.nodes.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let push_succs = |i: usize, stack: &mut Vec<usize>, seen: &mut Vec<bool>| {
+        for &(_, succ) in &ctx.leaves[i] {
+            if let Some(&j) = succ.and_then(|s| ctx.row.get(&s)) {
+                if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+    };
+    push_succs(from, &mut stack, &mut seen);
+    while let Some(i) = stack.pop() {
+        if i == to {
+            return true;
+        }
+        push_succs(i, &mut stack, &mut seen);
+    }
+    false
+}

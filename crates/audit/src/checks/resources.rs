@@ -1,0 +1,70 @@
+//! GA003 — resource and issue-template legality.
+//!
+//! Re-counts every row against the machine description: total width,
+//! conditional-jump slots, and — on machines with class caps — the
+//! per-FU-class slot limits. Deliberately re-derived from
+//! [`grip_machine::MachineDesc`] fields rather than calling the
+//! scheduler-facing `fits` helper, so a bookkeeping bug there cannot hide
+//! an overfull row from the audit.
+
+use crate::report::{AuditCode, Diagnostic};
+use crate::Ctx;
+use grip_machine::{FuClass, UNCAPPED};
+
+pub(crate) fn check(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    for (i, &n) in ctx.nodes.iter().enumerate() {
+        let ops = ctx.g.node_op_count(n);
+        if ctx.desc.width != UNCAPPED && ops > ctx.desc.width {
+            out.push(Diagnostic {
+                code: AuditCode::ResourceOverflow,
+                row: i,
+                op: None,
+                register: None,
+                message: format!(
+                    "row {i} issues {ops} operations, machine width is {}",
+                    ctx.desc.width
+                ),
+            });
+        }
+        let cjs = ctx.g.node_cj_count(n);
+        if ctx.desc.cjs != UNCAPPED && cjs > ctx.desc.cjs {
+            out.push(Diagnostic {
+                code: AuditCode::ResourceOverflow,
+                row: i,
+                op: None,
+                register: None,
+                message: format!(
+                    "row {i} holds {cjs} conditional jumps, machine allows {}",
+                    ctx.desc.cjs
+                ),
+            });
+        }
+        if !ctx.desc.has_class_caps() {
+            continue;
+        }
+        let mut counts = [0usize; FuClass::COUNT];
+        for &(_, op) in &ctx.placed[i] {
+            let k = ctx.g.op(op).kind;
+            if !k.is_cj() {
+                counts[FuClass::of(k).index()] += 1;
+            }
+        }
+        for &c in &FuClass::ALL[..3] {
+            let cap = ctx.desc.class_slots[c.index()];
+            if cap != UNCAPPED && counts[c.index()] > cap {
+                out.push(Diagnostic {
+                    code: AuditCode::ResourceOverflow,
+                    row: i,
+                    op: None,
+                    register: None,
+                    message: format!(
+                        "row {i} issues {} {} operations, the {} template caps it at {cap}",
+                        counts[c.index()],
+                        c.name(),
+                        ctx.desc.name
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! GA004 — value integrity.
+//!
+//! Two register-level invariants, both checked with the same bitset
+//! dataflow style as `grip-analysis`'s liveness:
+//!
+//! * **no use before def**: every register an op reads must be defined on
+//!   *every* path from program entry to its row (reads fetch at row entry
+//!   under VLIW semantics, so a definition in the same row does not
+//!   count). Registers with no definition anywhere in the schedule are
+//!   external inputs (the VM zero-initialises them) and are exempt.
+//! * **single def per row path**: within one row, no register may be
+//!   written twice along a single leaf path — the tree-instruction form
+//!   of single-def-per-live-range, and a precondition for the VM's
+//!   deterministic commit.
+
+use super::must_forward;
+use crate::report::{AuditCode, Diagnostic};
+use crate::Ctx;
+use grip_analysis::BitSet;
+use std::collections::{HashMap, HashSet};
+
+pub(crate) fn check(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    let regs = ctx.g.reg_count();
+    // Registers defined somewhere in the schedule; the rest are inputs.
+    let mut defined = BitSet::new(regs);
+    for placed in &ctx.placed {
+        for &(_, op) in placed {
+            if let Some(d) = ctx.g.op(op).dest {
+                defined.insert(d.index());
+            }
+        }
+    }
+    // Must-defined registers at each row's entry.
+    let ins = must_forward(ctx, regs, |i, leaf, set| {
+        for &(p, op) in &ctx.placed[i] {
+            if p.is_prefix_of(leaf) {
+                if let Some(d) = ctx.g.op(op).dest {
+                    set.insert(d.index());
+                }
+            }
+        }
+    });
+
+    let mut flagged: HashSet<(usize, usize)> = HashSet::new();
+    for (i, placed) in ctx.placed.iter().enumerate() {
+        for &(_, op) in placed {
+            let o = ctx.g.op(op);
+            for r in o.reads() {
+                if !defined.contains(r.index()) {
+                    continue; // external input register
+                }
+                let ok = ins[i].as_ref().is_some_and(|s| s.contains(r.index()));
+                if !ok && flagged.insert((i, r.index())) {
+                    out.push(Diagnostic {
+                        code: AuditCode::ValueIntegrity,
+                        row: i,
+                        op: Some(o.label().to_string()),
+                        register: Some(ctx.reg(r)),
+                        message: format!(
+                            "row {i} reads {} before any definition on some path from entry",
+                            ctx.reg(r)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Single def per leaf path within a row.
+    let mut dup_flagged: HashSet<(usize, usize)> = HashSet::new();
+    for (i, placed) in ctx.placed.iter().enumerate() {
+        for &(leaf, _) in &ctx.leaves[i] {
+            let mut writes: HashMap<usize, u32> = HashMap::new();
+            for &(p, op) in placed {
+                if p.is_prefix_of(leaf) {
+                    if let Some(d) = ctx.g.op(op).dest {
+                        *writes.entry(d.index()).or_insert(0) += 1;
+                    }
+                }
+            }
+            for (r, count) in writes {
+                if count > 1 && dup_flagged.insert((i, r)) {
+                    out.push(Diagnostic {
+                        code: AuditCode::ValueIntegrity,
+                        row: i,
+                        op: None,
+                        register: Some(ctx.reg(grip_ir::RegId::new(r))),
+                        message: format!(
+                            "row {i} writes register index {r} {count} times on one path"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

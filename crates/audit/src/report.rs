@@ -1,0 +1,260 @@
+//! Structured audit diagnostics: stable error codes, locations, and a
+//! JSON exposition that round-trips through the service wire protocol.
+
+use grip_json::Json;
+
+/// Stable audit error codes. The numeric part never changes meaning, so
+/// downstream tooling (CI filters, dashboards) can key on the string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AuditCode {
+    /// `GA001` — a source-graph dependence is not preserved by the
+    /// schedule: the producer is not proven complete before the consumer
+    /// on every path, or the pair was collapsed into one row illegally.
+    DependenceInversion,
+    /// `GA002` — a consumer is placed inside a producer's latency shadow:
+    /// the static countdown derived from [`grip_machine::MachineDesc::latency_of`]
+    /// still carries outstanding cycles for a register the row reads.
+    LatencyShadow,
+    /// `GA003` — a row exceeds the machine's issue template: width,
+    /// conditional-jump count, or a per-FU-class slot cap.
+    ResourceOverflow,
+    /// `GA004` — value integrity: a register is read along some path
+    /// before any definition, or one row writes the same register twice
+    /// on a single leaf path.
+    ValueIntegrity,
+}
+
+impl AuditCode {
+    /// All codes, in numeric order.
+    pub const ALL: [AuditCode; 4] = [
+        AuditCode::DependenceInversion,
+        AuditCode::LatencyShadow,
+        AuditCode::ResourceOverflow,
+        AuditCode::ValueIntegrity,
+    ];
+
+    /// The stable wire string, e.g. `"GA001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AuditCode::DependenceInversion => "GA001",
+            AuditCode::LatencyShadow => "GA002",
+            AuditCode::ResourceOverflow => "GA003",
+            AuditCode::ValueIntegrity => "GA004",
+        }
+    }
+
+    /// Short human title for tables and summaries.
+    pub fn title(self) -> &'static str {
+        match self {
+            AuditCode::DependenceInversion => "dependence inversion",
+            AuditCode::LatencyShadow => "latency shadow",
+            AuditCode::ResourceOverflow => "resource overflow",
+            AuditCode::ValueIntegrity => "value integrity",
+        }
+    }
+
+    /// Parse a wire string back into a code.
+    pub fn parse(s: &str) -> Option<AuditCode> {
+        AuditCode::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for AuditCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One audit finding, located as precisely as the check allows.
+///
+/// `row` is the index of the offending instruction in the scheduled
+/// graph's stable breadth-first order (entry = row 0) — the same order
+/// the tableau printer uses, so rows are easy to find by eye.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Which invariant was violated.
+    pub code: AuditCode,
+    /// Row index of the offending instruction (breadth-first order).
+    pub row: usize,
+    /// Label of the implicated operation, when one is identified.
+    pub op: Option<String>,
+    /// The register involved, when one is identified.
+    pub register: Option<String>,
+    /// Full human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// JSON exposition of this finding.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj().field("code", self.code.as_str()).field("row", self.row as i64);
+        if let Some(op) = &self.op {
+            j = j.field("op", op.as_str());
+        }
+        if let Some(r) = &self.register {
+            j = j.field("register", r.as_str());
+        }
+        j.field("message", self.message.as_str())
+    }
+
+    /// Parse one finding back from its wire form.
+    pub fn from_json(j: &Json) -> Result<Diagnostic, String> {
+        let code = j
+            .get("code")
+            .and_then(Json::as_str)
+            .and_then(AuditCode::parse)
+            .ok_or("diagnostic missing a valid \"code\"")?;
+        let row = j.get("row").and_then(Json::as_i64).ok_or("diagnostic missing \"row\"")?;
+        Ok(Diagnostic {
+            code,
+            row: row.max(0) as usize,
+            op: j.get("op").and_then(Json::as_str).map(str::to_string),
+            register: j.get("register").and_then(Json::as_str).map(str::to_string),
+            message: j
+                .get("message")
+                .and_then(Json::as_str)
+                .ok_or("diagnostic missing \"message\"")?
+                .to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} row {}: {}", self.code, self.row, self.message)
+    }
+}
+
+/// The result of a full static audit: every finding plus coverage
+/// counters showing what was actually checked.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuditReport {
+    /// All findings, in check order (GA001 → GA004), then row order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Scheduled rows examined.
+    pub rows: usize,
+    /// Operation instances examined (duplicates counted per placement).
+    pub ops: usize,
+    /// Memory dependences of the source DDG checked for preservation.
+    pub mem_deps: usize,
+    /// Register flow dependences of the source DDG checked for ordering.
+    pub reg_deps: usize,
+}
+
+impl AuditReport {
+    /// True when no check produced a finding.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings carrying a given code.
+    pub fn count(&self, code: AuditCode) -> usize {
+        self.diagnostics.iter().filter(|d| d.code == code).count()
+    }
+
+    /// One-line summary: `"clean"` or `"GA001×2, GA002×1"`.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return "clean".to_string();
+        }
+        let parts: Vec<String> = AuditCode::ALL
+            .into_iter()
+            .filter_map(|c| {
+                let n = self.count(c);
+                (n > 0).then(|| format!("{c}×{n}"))
+            })
+            .collect();
+        parts.join(", ")
+    }
+
+    /// JSON exposition: `clean`, the coverage counters, and the findings.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("clean", self.is_clean())
+            .field("rows", self.rows as i64)
+            .field("ops", self.ops as i64)
+            .field("mem_deps", self.mem_deps as i64)
+            .field("reg_deps", self.reg_deps as i64)
+            .field("diagnostics", Json::Arr(self.diagnostics.iter().map(|d| d.to_json()).collect()))
+    }
+
+    /// Parse a report back from its wire form.
+    pub fn from_json(j: &Json) -> Result<AuditReport, String> {
+        let count = |key: &str| -> Result<usize, String> {
+            j.get(key)
+                .and_then(Json::as_i64)
+                .map(|v| v.max(0) as usize)
+                .ok_or_else(|| format!("audit report missing \"{key}\""))
+        };
+        let diags = j
+            .get("diagnostics")
+            .and_then(Json::as_arr)
+            .ok_or("audit report missing \"diagnostics\"")?;
+        Ok(AuditReport {
+            diagnostics: diags.iter().map(Diagnostic::from_json).collect::<Result<_, _>>()?,
+            rows: count("rows")?,
+            ops: count("ops")?,
+            mem_deps: count("mem_deps")?,
+            reg_deps: count("reg_deps")?,
+        })
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "audit: {} ({} rows, {} ops, {} mem deps, {} reg deps)",
+            self.summary(),
+            self.rows,
+            self.ops,
+            self.mem_deps,
+            self.reg_deps
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for c in AuditCode::ALL {
+            assert_eq!(AuditCode::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(AuditCode::parse("GA999"), None);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let rep = AuditReport {
+            diagnostics: vec![Diagnostic {
+                code: AuditCode::LatencyShadow,
+                row: 7,
+                op: Some("mul".to_string()),
+                register: Some("r3".to_string()),
+                message: "read of r3 with 2 cycles outstanding".to_string(),
+            }],
+            rows: 40,
+            ops: 160,
+            mem_deps: 12,
+            reg_deps: 30,
+        };
+        let j = rep.to_json();
+        let back = AuditReport::from_json(&Json::parse(&j.line()).unwrap()).unwrap();
+        assert_eq!(back, rep);
+        assert!(!back.is_clean());
+        assert_eq!(back.summary(), "GA002×1");
+    }
+
+    #[test]
+    fn clean_summary() {
+        assert_eq!(AuditReport::default().summary(), "clean");
+        assert!(AuditReport::default().is_clean());
+    }
+}

@@ -9,6 +9,7 @@
 //!   The Table 1 comparison partner.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod post;
 mod unifiable;

@@ -58,6 +58,7 @@ pub fn post_pipeline(g: &mut Graph, opts: PostOptions) -> PipelineReport {
             gap_prevention: true,
             dce: opts.dce,
             try_roll: false,
+            audit: false,
         },
     );
     let window = p1.window;
@@ -93,6 +94,9 @@ pub fn post_pipeline(g: &mut Graph, opts: PostOptions) -> PipelineReport {
         pattern,
         cpi_estimate,
         rolled: None,
+        // POST's phase-2 row-breaking invalidates the phase-1 window's
+        // orig bookkeeping, so the GRiP auditor does not apply here.
+        audit: None,
     }
 }
 

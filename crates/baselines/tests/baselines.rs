@@ -110,6 +110,7 @@ fn post_is_exact_and_never_beats_grip() {
                     gap_prevention: true,
                     dce: true,
                     try_roll: false,
+                    audit: false,
                 },
             );
 

@@ -3,6 +3,8 @@
 //! successors n1, n2, n3 — then execute it under all condition outcomes to
 //! demonstrate the commit-along-selected-path semantics.
 
+#![forbid(unsafe_code)]
+
 use grip_ir::{Graph, OpKind, Operand, Operation, Tree, TreePath, Value};
 use grip_vm::Machine;
 

@@ -1,6 +1,8 @@
 //! Regenerate **Figures 2 and 3**: the `move-op` and `move-cj` core
 //! transformations, shown as before/after program graphs.
 
+#![forbid(unsafe_code)]
+
 use grip_analysis::Ddg;
 use grip_ir::{Graph, OpKind, Operand, Operation, Tree, TreePath, Value};
 use grip_percolate::{move_cj, move_op, Ctx};

@@ -7,6 +7,8 @@
 //! the scheduled tableau, the detected pattern, and both speedups —
 //! including a simulated run of the re-rolled loop.
 
+#![forbid(unsafe_code)]
+
 use grip_bench::examples::abc_loop;
 use grip_core::Resources;
 use grip_pipeline::{perfect_pipeline, PipelineOptions};
@@ -26,6 +28,7 @@ fn main() {
             gap_prevention: true,
             dce: true,
             try_roll: false,
+            audit: false,
         },
     );
     println!("Figure 5: overlapping 4 iterations of the a->b->c loop");
@@ -55,6 +58,7 @@ fn main() {
             gap_prevention: true,
             dce: true,
             try_roll: true,
+            audit: false,
         },
     );
     let pat = rep2.pattern.expect("perfect pipelining converges");

@@ -7,6 +7,8 @@
 //! — the sets whose maintenance cost §3.1 compares), the move sequence,
 //! and the final graphs.
 
+#![forbid(unsafe_code)]
+
 use grip_analysis::{Ddg, RankTable};
 use grip_core::{schedule_region, GripConfig, Resources, TraceEvent};
 use grip_ir::{Graph, NodeId, OpId, OpKind, Operand, ProgramBuilder, Value};

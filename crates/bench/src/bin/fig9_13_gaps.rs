@@ -2,6 +2,8 @@
 //! gap prevention (maximal migration — gaps grow, no convergence) and with
 //! the Gapless-move facility (fixed pattern, the new loop body).
 
+#![forbid(unsafe_code)]
+
 use grip_bench::examples::running_example;
 use grip_core::Resources;
 use grip_pipeline::{perfect_pipeline, PipelineOptions};
@@ -21,6 +23,7 @@ fn main() {
             gap_prevention: false,
             dce: true,
             try_roll: false,
+            audit: false,
         },
     );
     println!("Figure 9: pipelined schedule WITHOUT gap prevention");
@@ -55,6 +58,7 @@ fn main() {
             gap_prevention: true,
             dce: true,
             try_roll: false,
+            audit: false,
         },
     );
     println!("Figure 13: final gapless schedule (GRiP with Gapless-move)");

@@ -5,6 +5,8 @@
 //! constraints decide how many iterations enter the loop body and packs
 //! the machine ("4 operations per instruction").
 
+#![forbid(unsafe_code)]
+
 use grip_baselines::{post_pipeline, PostOptions};
 use grip_bench::examples::intro_five_op_loop;
 use grip_core::Resources;
@@ -24,6 +26,7 @@ fn main() {
             gap_prevention: true,
             dce: true,
             try_roll: false,
+            audit: false,
         },
     );
 

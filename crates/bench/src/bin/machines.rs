@@ -3,10 +3,13 @@
 //! `BENCH_machines.json`: latency-aware model cycles, speedup vs the
 //! sequential program on the *same* machine, stalls, and schedule length.
 //!
-//! Every cell is backed by a bitwise simulation equivalence check plus
-//! the simulator's issue-template validation.
+//! Every cell is backed by a bitwise simulation equivalence check, the
+//! simulator's issue-template validation, and the grip-audit static
+//! verifier — any diagnostic fails the sweep.
 //!
 //! Usage: `machines [trip-count] [--seq]` (default n = 100, parallel).
+
+#![forbid(unsafe_code)]
 
 use grip_bench::machines::{machine_table, machines_json, render_machines};
 
@@ -32,7 +35,9 @@ fn main() {
 
     let bad: Vec<&_> = cells
         .iter()
-        .filter(|c| !c.verified || c.template_violations > 0 || c.sched_stalls > 0)
+        .filter(|c| {
+            !c.verified || c.template_violations > 0 || c.sched_stalls > 0 || !c.audit_clean
+        })
         .collect();
 
     // Timing gate: the per-stage self times must decompose each cell's
@@ -46,7 +51,7 @@ fn main() {
 
     if bad.is_empty() && unaccounted.is_empty() {
         println!(
-            "\nAll cells verified against sequential execution; \
+            "\nAll cells verified against sequential execution and audit-clean; \
              no template violations, no interlock stalls; \
              stage timings account for every cell's wall time."
         );
@@ -54,8 +59,14 @@ fn main() {
         println!("\nVIOLATIONS:");
         for c in bad {
             println!(
-                "  {} on {}: verified={} template_violations={} sched_stalls={}",
-                c.kernel, c.machine, c.verified, c.template_violations, c.sched_stalls
+                "  {} on {}: verified={} template_violations={} sched_stalls={} \
+                 audit_diagnostics={}",
+                c.kernel,
+                c.machine,
+                c.verified,
+                c.template_violations,
+                c.sched_stalls,
+                c.audit_diagnostics
             );
         }
         for c in unaccounted {

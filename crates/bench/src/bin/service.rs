@@ -5,18 +5,22 @@
 //! latency, plus the aggregate cache counters.
 //!
 //! Gates (exit nonzero on violation):
-//! * every response `ok`, VM-verified, with 0 stall cycles and 0
-//!   template violations — the stall-free invariant through the service
-//!   path;
+//! * every response `ok`, VM-verified, with 0 stall cycles, 0 template
+//!   violations, and an attached grip-audit report with zero
+//!   diagnostics — the stall-free invariant and the static audit
+//!   through the service path;
 //! * every cache-hit response bit-identical to the first (cold) response
 //!   for the same work;
 //! * with repeats, a nonzero schedule-cache hit count;
-//! * per-stage times (prepare/schedule/hazards/verify) summing to within
+//! * per-stage times (prepare/schedule/hazards/verify/audit) summing to
+//!   within
 //!   5% of each cold response's wall time (≥ 1 ms walls only — below
 //!   that, timer noise dominates).
 //!
 //! Usage: `service [trip-count] [--repeat K] [--shards N] [--seed S]`
 //! (defaults: n = 48, repeat = 12 → 1008 requests).
+
+#![forbid(unsafe_code)]
 
 use grip_bench::json::Json;
 use grip_service::workload::{mixed_workload, percentile};
@@ -40,12 +44,14 @@ fn main() {
     }
 
     let service = Service::new(ServiceConfig { shards, ..Default::default() });
-    // Every request opts into the per-stage breakdown; the timings ride
-    // outside bits_eq, so the bit-identity gate below is unaffected.
+    // Every request opts into the per-stage breakdown and the static
+    // audit report; both ride outside bits_eq, so the bit-identity gate
+    // below is unaffected.
     let reqs: Vec<_> = mixed_workload(n, repeat, seed)
         .into_iter()
         .map(|mut r| {
             r.want_timings = true;
+            r.want_audit = true;
             r
         })
         .collect();
@@ -61,18 +67,23 @@ fn main() {
     let responses = service.submit_batch(reqs.clone());
     let wall = t0.elapsed();
 
-    // Gate 1: verified, stall-free, template-clean, everywhere.
+    // Gate 1: verified, stall-free, template-clean, audit-clean,
+    // everywhere. Every request opted in, so a missing report is itself
+    // a violation.
     let mut violations: Vec<String> = Vec::new();
     for r in &responses {
-        if !r.ok || !r.verified || r.sched_stalls != 0 || r.template_violations != 0 {
+        let audit_clean = r.audit.as_ref().is_some_and(|a| a.is_clean());
+        if !r.ok || !r.verified || r.sched_stalls != 0 || r.template_violations != 0 || !audit_clean
+        {
             violations.push(format!(
-                "{} on {}: ok={} verified={} stalls={} templates={} {}",
+                "{} on {}: ok={} verified={} stalls={} templates={} audit={} {}",
                 r.kernel,
                 r.machine,
                 r.ok,
                 r.verified,
                 r.sched_stalls,
                 r.template_violations,
+                r.audit.as_ref().map_or("missing".to_string(), |a| a.summary()),
                 r.error.as_deref().unwrap_or("")
             ));
         }
@@ -121,6 +132,7 @@ fn main() {
             ("schedule", t.schedule_ns),
             ("hazards", t.hazards_ns),
             ("verify", t.verify_ns),
+            ("audit", t.audit_ns),
         ] {
             stage_ns.entry(stage).or_default().push(ns);
         }
@@ -161,17 +173,19 @@ fn main() {
     );
     println!("cold stage p50s: {}", {
         let mut parts = Vec::new();
-        for stage in ["prepare", "schedule", "hazards", "verify"] {
+        for stage in ["prepare", "schedule", "hazards", "verify", "audit"] {
             parts.push(format!("{stage} {:.1} us", stage_pcts(stage).0));
         }
         parts.join(", ")
     });
 
-    let stages_json =
-        ["prepare", "schedule", "hazards", "verify"].into_iter().fold(Json::obj(), |acc, stage| {
+    let stages_json = ["prepare", "schedule", "hazards", "verify", "audit"].into_iter().fold(
+        Json::obj(),
+        |acc, stage| {
             let (p50, p99) = stage_pcts(stage);
             acc.field(stage, Json::obj().field("p50_us", p50).field("p99_us", p99))
-        });
+        },
+    );
     let json = Json::obj()
         .field("bench", "service")
         .field("trip_count", n as u64)
@@ -199,8 +213,8 @@ fn main() {
 
     if violations.is_empty() {
         println!(
-            "\nAll {total} responses verified, stall-free, template-clean; \
-             every cache hit bit-identical to its cold run."
+            "\nAll {total} responses verified, stall-free, template-clean, \
+             audit-clean; every cache hit bit-identical to its cold run."
         );
     } else {
         println!("\nVIOLATIONS:");

@@ -7,6 +7,8 @@
 //!
 //! Usage: `table1 [trip-count] [--seq]` (default n = 100, parallel sweep).
 
+#![forbid(unsafe_code)]
+
 use grip_bench::{render_table1, table1};
 
 fn main() {

@@ -18,6 +18,7 @@
 //! serialized by the dependency-free [`json`] module.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod examples;
 pub mod machines;
@@ -110,6 +111,7 @@ pub fn run_grip(k: &Kernel, n: i64, fus: usize) -> (Graph, PipelineReport) {
             gap_prevention: true,
             dce: true,
             try_roll: false,
+            audit: false,
         },
     );
     (g, rep)

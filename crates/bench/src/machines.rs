@@ -46,6 +46,10 @@ pub struct MachineCell {
     /// Per-stage self times for this cell (prepare/schedule/hazards/
     /// verify plus the measured wall), from the grip-obs span collector.
     pub timings: grip_obs::StageBreakdown,
+    /// The grip-audit static verifier found no diagnostics.
+    pub audit_clean: bool,
+    /// How many diagnostics it found (0 is the gate).
+    pub audit_diagnostics: usize,
 }
 
 impl MachineCell {
@@ -64,10 +68,13 @@ impl MachineCell {
             .field("template_violations", self.template_violations)
             .field("hazard_delay_rows", self.hazard_delay_rows)
             .field("hazard_backfills", self.hazard_backfills)
+            .field("audit_clean", self.audit_clean)
+            .field("audit_diagnostics", self.audit_diagnostics as u64)
             .field("prepare_us", self.timings.prepare_ns as f64 / 1000.0)
             .field("schedule_us", self.timings.schedule_ns as f64 / 1000.0)
             .field("hazards_us", self.timings.hazards_ns as f64 / 1000.0)
             .field("verify_us", self.timings.verify_ns as f64 / 1000.0)
+            .field("audit_us", self.timings.audit_ns as f64 / 1000.0)
             .field("wall_us", self.timings.total_ns as f64 / 1000.0)
     }
 }
@@ -105,6 +112,9 @@ pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
                 gap_prevention: true,
                 dce: true,
                 try_roll: false,
+                // Every cell is double-checked: VM simulation below,
+                // grip-audit static verification here.
+                audit: true,
             },
         );
 
@@ -144,6 +154,8 @@ pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
         hazard_delay_rows: rep.stats.hazard_delay_rows,
         hazard_backfills: rep.stats.hazard_backfills,
         timings: grip_obs::StageBreakdown::from_timings(&stage_timings),
+        audit_clean: rep.audit.as_ref().is_some_and(|a| a.is_clean()),
+        audit_diagnostics: rep.audit.as_ref().map_or(0, |a| a.diagnostics.len()),
     }
 }
 

@@ -28,6 +28,7 @@
 //! Entry point: [`schedule_region`] (or the [`Grip`] builder for tracing).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod grip;
 pub mod hazards;

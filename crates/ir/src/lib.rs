@@ -20,6 +20,7 @@
 //! placement map used by the schedulers stays consistent.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod builder;
 mod fnv;

@@ -15,6 +15,7 @@
 //! canonical form.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
 

@@ -17,6 +17,7 @@
 //! reference.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod defs;
 

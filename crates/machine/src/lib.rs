@@ -24,6 +24,7 @@
 //! arithmetic *on* the cap — so the sentinel cannot overflow.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod class;
 mod desc;

@@ -29,6 +29,7 @@
 //! `grip_stage_self_ns_<stage>` (self time, nanoseconds).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod metrics;
 pub mod span;

@@ -19,6 +19,7 @@
 //! check this by running the simulator before and after each edit.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod cleanup;
 mod ctx;

@@ -6,6 +6,7 @@ use crate::roll::{roll, RollError, RollOutcome};
 use crate::simplify::simplify_inductions;
 use crate::unwind::{unwind, Window};
 use grip_analysis::{Ddg, RankTable};
+use grip_audit::AuditReport;
 use grip_core::{schedule_region, GripConfig, Resources, ScheduleStats};
 use grip_ir::{Graph, NodeId};
 use grip_machine::{FuClass, UNCAPPED};
@@ -30,6 +31,10 @@ pub struct PipelineOptions {
     pub dce: bool,
     /// Attempt to re-roll the detected pattern into a real loop.
     pub try_roll: bool,
+    /// Run the `grip-audit` static verifier on the finished schedule and
+    /// attach its report. Debug builds audit unconditionally (and assert
+    /// the report is clean); this flag opts release builds in.
+    pub audit: bool,
 }
 
 impl Default for PipelineOptions {
@@ -41,6 +46,7 @@ impl Default for PipelineOptions {
             gap_prevention: true,
             dce: true,
             try_roll: false,
+            audit: false,
         }
     }
 }
@@ -64,6 +70,9 @@ pub struct PipelineReport {
     pub cpi_estimate: Option<f64>,
     /// Result of re-rolling, when requested.
     pub rolled: Option<Result<RollOutcome, RollError>>,
+    /// Static audit of the finished schedule, when requested (always
+    /// present in debug builds).
+    pub audit: Option<AuditReport>,
 }
 
 impl PipelineReport {
@@ -198,5 +207,27 @@ pub fn schedule_window(
         }
         _ => None,
     };
-    PipelineReport { window, stats: out.stats, region, steady, pattern, cpi_estimate, rolled }
+    // Independent static verification of whatever the stages above left
+    // in the graph — including the re-rolled loop, whose rewired back
+    // edge and rotation rows the auditor re-derives from scratch. Debug
+    // builds always audit, so every unit/property/bench run in the
+    // workspace doubles as an auditor soak; release builds opt in.
+    let audit = if opts.audit || cfg!(debug_assertions) {
+        let _span = grip_obs::span!("audit");
+        let rep = grip_audit::audit_schedule(g, ddg, opts.resources.desc());
+        debug_assert!(rep.is_clean(), "grip-audit found a scheduler bug: {rep}");
+        Some(rep)
+    } else {
+        None
+    };
+    PipelineReport {
+        window,
+        stats: out.stats,
+        region,
+        steady,
+        pattern,
+        cpi_estimate,
+        rolled,
+        audit,
+    }
 }

@@ -12,6 +12,7 @@
 //! ([`PipelineReport::speedup`]).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod driver;
 mod pattern;

@@ -54,6 +54,7 @@ fn rolled_loop_is_observationally_identical() {
             gap_prevention: true,
             dce: true,
             try_roll: true,
+            audit: false,
         };
         let rep = perfect_pipeline(&mut g, opts);
         let pat = rep.pattern.expect("slope-1 pattern must converge");
@@ -82,6 +83,7 @@ fn rolled_loop_executes_fewer_cycles() {
         gap_prevention: true,
         dce: true,
         try_roll: true,
+        audit: false,
     };
     let rep = perfect_pipeline(&mut g, opts);
     rep.rolled.expect("requested").expect("rolls");
@@ -112,6 +114,7 @@ fn folded_inductions_refuse_to_roll() {
         gap_prevention: true,
         dce: true,
         try_roll: true,
+        audit: false,
     };
     let rep = perfect_pipeline(&mut g, opts);
     if let Some(rolled) = rep.rolled {

@@ -5,12 +5,14 @@
 //! ```text
 //! grip-client --emit [--repeat K] [--n N] [--seed S] [--metrics]
 //!     print the mixed sweep (all presets × LL1–LL14, repeated K times,
-//!     shuffled) as JSON-lines requests on stdout; --metrics appends
-//!     {"cmd":"metrics"} (JSON and Prometheus forms) after the sweep
+//!     shuffled) as JSON-lines requests on stdout, every request opting
+//!     into the grip-audit report; --metrics appends {"cmd":"metrics"}
+//!     (JSON and Prometheus forms) after the sweep
 //!
 //! grip-client --check [--expect-hits] [--metrics] [--latency-summary]
 //!     read responses from stdin; fail (exit 1) on any !ok, unverified,
-//!     stalled, or template-violating response — and, with
+//!     stalled, or template-violating response, or any grip-audit
+//!     report carrying diagnostics — and, with
 //!     --expect-hits, if no response was served from the schedule
 //!     cache; with --metrics, validate the metrics frames (nonzero
 //!     stage counters, lint-clean Prometheus text); print a
@@ -27,6 +29,8 @@
 //!
 //! CI runs `grip-client --emit --metrics | grip-serve | grip-client
 //! --check --expect-hits --metrics` as the protocol + metrics smoke.
+
+#![forbid(unsafe_code)]
 
 use grip_json::Json;
 use grip_obs::metrics::{bucket_bound, prometheus_lint};
@@ -120,10 +124,23 @@ fn main() {
     }
 }
 
+/// The sweep `--emit` and `--addr` drive: the mixed workload with every
+/// request opting into the grip-audit report, so `--check` can gate on
+/// audit-clean responses end to end.
+fn audit_workload(opts: &Opts) -> Vec<grip_service::ScheduleRequest> {
+    mixed_workload(opts.n, opts.repeat, opts.seed)
+        .into_iter()
+        .map(|mut r| {
+            r.want_audit = true;
+            r
+        })
+        .collect()
+}
+
 fn emit(opts: &Opts) {
     let stdout = std::io::stdout();
     let mut w = BufWriter::new(stdout.lock());
-    for req in mixed_workload(opts.n, opts.repeat, opts.seed) {
+    for req in audit_workload(opts) {
         writeln!(w, "{}", proto::request_to_json(&req).line()).expect("stdout");
     }
     if opts.metrics {
@@ -165,7 +182,7 @@ fn read_responses(reader: impl BufRead) -> (Vec<ScheduleResponse>, Vec<Json>) {
 }
 
 fn drive_tcp(opts: &Opts, addr: &str) {
-    let reqs = mixed_workload(opts.n, opts.repeat, opts.seed);
+    let reqs = audit_workload(opts);
     let total = reqs.len();
     let want_metrics = opts.metrics;
     let stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
@@ -318,17 +335,27 @@ fn finish(
 ) {
     let mut violations = 0usize;
     for r in responses {
-        let bad = !r.ok || !r.verified || r.sched_stalls != 0 || r.template_violations != 0;
+        // Any non-empty diagnostic list fails the run, whatever its
+        // codes: the auditor proved something about this schedule that
+        // the dynamic checks did not see.
+        let audit_dirty = r.audit.as_ref().is_some_and(|a| !a.diagnostics.is_empty());
+        let bad = !r.ok
+            || !r.verified
+            || r.sched_stalls != 0
+            || r.template_violations != 0
+            || audit_dirty;
         if bad {
             violations += 1;
             eprintln!(
-                "[grip-client] VIOLATION {} on {}: ok={} verified={} stalls={} templates={} {}",
+                "[grip-client] VIOLATION {} on {}: ok={} verified={} stalls={} templates={} \
+                 audit={} {}",
                 r.kernel,
                 r.machine,
                 r.ok,
                 r.verified,
                 r.sched_stalls,
                 r.template_violations,
+                r.audit.as_ref().map_or("absent".to_string(), |a| a.summary()),
                 r.error.as_deref().unwrap_or(""),
             );
         }

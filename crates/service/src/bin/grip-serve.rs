@@ -15,6 +15,8 @@
 //! `emit | grip-serve | check` pipelines get a throughput summary for
 //! free.
 
+#![forbid(unsafe_code)]
+
 use grip_service::{proto, Service, ServiceConfig};
 use std::sync::Arc;
 

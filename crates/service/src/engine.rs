@@ -167,6 +167,11 @@ impl Engine {
         // breakdown is opt-in (`want_timings`) so the default wire
         // response does not grow.
         resp.timings = req.want_timings.then(|| grip_obs::StageBreakdown::from_timings(&timings));
+        // The audit report is content (cached with the response), but its
+        // delivery is opt-in, same as the timings breakdown.
+        if !req.want_audit {
+            resp.audit = None;
+        }
         resp.trace_id = match &req.trace {
             Some(t) => t.clone(),
             None => format!("s{shard}-{}", self.processed),
@@ -263,8 +268,17 @@ impl Engine {
                 gap_prevention: req.options.gap_prevention,
                 dce: req.options.dce,
                 try_roll: req.options.try_roll,
+                // Always audit cold runs: the report is cached with the
+                // response, so the static check costs nothing on hits and
+                // `want_audit` only gates delivery.
+                audit: true,
             },
         );
+        grip_obs::counter!("grip_audit_runs_total").inc();
+        let audit = rep.audit.clone();
+        if let Some(a) = &audit {
+            grip_obs::counter!("grip_audit_diagnostics_total").add(a.diagnostics.len() as u64);
+        }
 
         let (verified, seq_cycles, sched_cycles, sched_stalls, template_violations, state_digest) = {
             let _span = grip_obs::span!("verify");
@@ -301,6 +315,7 @@ impl Engine {
             shard: 0,
             trace_id: String::new(),
             timings: None,
+            audit,
         };
         self.sched_cache.insert(skey, resp.clone());
         resp

@@ -25,6 +25,7 @@
 //!   [`grip_json`] (no crates.io dependencies).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cache;
 mod engine;

@@ -7,6 +7,7 @@
 //! {"id":1,"kernel":"LL3","n":48,"machine":"epic8"}
 //! {"id":2,"kernel":"LL5","n":48,"machine":{"width":8,"slots":{"alu":4,"fpu":4,"mem":2},"latency":{"fpu":4,"fpu_long":16,"mem":2}},"unwind":12}
 //! {"id":3,"kernel":"LL1","n":48,"machine":"scalar","trace":"req-abc","timings":true}
+//! {"id":4,"kernel":"LL7","n":48,"machine":"mem_bound","audit":true}
 //! {"cmd":"stats"}
 //! {"cmd":"metrics"}
 //! {"cmd":"metrics","format":"prometheus"}
@@ -15,8 +16,11 @@
 //! `machine` is a preset name or an inline description (missing slot caps
 //! mean uncapped, missing latencies mean one cycle). `unwind` and the four
 //! option toggles are optional, as are `trace` (a client-chosen trace id,
-//! echoed back; absent ids are shard-assigned) and `timings` (opt into a
-//! per-stage breakdown on the response). `{"cmd":"stats"}` answers with
+//! echoed back; absent ids are shard-assigned), `timings` (opt into a
+//! per-stage breakdown on the response), and `audit` (opt into attaching
+//! the `grip-audit` static verification report — the engine audits every
+//! cold schedule either way). Unknown request keys are rejected, not
+//! ignored. `{"cmd":"stats"}` answers with
 //! the aggregate cache counters after all in-flight requests drain;
 //! `{"cmd":"metrics"}` dumps the process-wide metrics registry (JSON, or
 //! Prometheus text with `"format":"prometheus"`).
@@ -97,6 +101,9 @@ pub fn request_to_json(req: &ScheduleRequest) -> Json {
     if req.want_timings {
         j = j.field("timings", true);
     }
+    if req.want_audit {
+        j = j.field("audit", true);
+    }
     let d = EngineOptions::default();
     let o = req.options;
     if o.fold_inductions != d.fold_inductions {
@@ -136,8 +143,33 @@ fn lat_of(j: Option<&Json>, field: &str) -> Result<u32, String> {
     }
 }
 
+/// Every key a request object may carry. Anything else is rejected —
+/// silently ignoring a misspelled `"audti": true` would quietly serve a
+/// different request than the caller believes they made.
+const REQUEST_KEYS: [&str; 12] = [
+    "id",
+    "kernel",
+    "n",
+    "machine",
+    "unwind",
+    "trace",
+    "timings",
+    "audit",
+    "fold_inductions",
+    "gap_prevention",
+    "dce",
+    "try_roll",
+];
+
 /// Parse a wire object into a request.
 pub fn request_from_json(j: &Json) -> Result<ScheduleRequest, String> {
+    if let Json::Obj(fields) = j {
+        for (key, _) in fields {
+            if !REQUEST_KEYS.contains(&key.as_str()) {
+                return Err(format!("unknown request key \"{key}\""));
+            }
+        }
+    }
     let kernel = j
         .get("kernel")
         .and_then(Json::as_str)
@@ -199,6 +231,7 @@ pub fn request_from_json(j: &Json) -> Result<ScheduleRequest, String> {
         Some(_) => return Err("\"trace\" must be a string".to_string()),
     };
     let want_timings = flag("timings", false)?;
+    let want_audit = flag("audit", false)?;
     Ok(ScheduleRequest {
         id: j.get("id").and_then(Json::as_i64).unwrap_or(0) as u64,
         kernel,
@@ -208,6 +241,7 @@ pub fn request_from_json(j: &Json) -> Result<ScheduleRequest, String> {
         options,
         trace,
         want_timings,
+        want_audit,
     })
 }
 
@@ -289,7 +323,7 @@ pub fn response_to_json(r: &ScheduleResponse) -> Json {
         .field("shard", r.shard)
         .field("trace", r.trace_id.as_str())
         .field("stats", stats_to_json(&r.stats));
-    match &r.timings {
+    let j = match &r.timings {
         Some(t) => j.field(
             "timings",
             Json::obj()
@@ -297,8 +331,13 @@ pub fn response_to_json(r: &ScheduleResponse) -> Json {
                 .field("schedule_ns", t.schedule_ns)
                 .field("hazards_ns", t.hazards_ns)
                 .field("verify_ns", t.verify_ns)
+                .field("audit_ns", t.audit_ns)
                 .field("total_ns", t.total_ns),
         ),
+        None => j,
+    };
+    match &r.audit {
+        Some(a) => j.field("audit", a.to_json()),
         None => j,
     }
 }
@@ -355,9 +394,14 @@ pub fn response_from_json(j: &Json) -> Result<ScheduleResponse, String> {
                 schedule_ns: ns("schedule_ns"),
                 hazards_ns: ns("hazards_ns"),
                 verify_ns: ns("verify_ns"),
+                audit_ns: ns("audit_ns"),
                 total_ns: ns("total_ns"),
             }
         }),
+        audit: match j.get("audit") {
+            None | Some(Json::Null) => None,
+            Some(a) => Some(grip_audit::AuditReport::from_json(a)?),
+        },
     })
 }
 
@@ -631,6 +675,84 @@ mod tests {
         assert_eq!(st.get("sched_hits").and_then(Json::as_i64), Some(1));
         let r3 = response_from_json(&lines[4]).unwrap();
         assert!(!r3.ok && r3.error.unwrap().contains("unknown kernel"));
+    }
+
+    #[test]
+    fn malformed_audit_flags_and_unknown_keys_are_rejected() {
+        // "audit" must be a strict JSON boolean — truthy strings and
+        // numbers are protocol errors, not coercions.
+        for bad in [
+            r#"{"kernel":"LL1","n":4,"machine":"epic8","audit":"yes"}"#,
+            r#"{"kernel":"LL1","n":4,"machine":"epic8","audit":1}"#,
+            r#"{"kernel":"LL1","n":4,"machine":"epic8","audit":null}"#,
+        ] {
+            let err = request_from_json(&Json::parse(bad).unwrap()).unwrap_err();
+            assert!(err.contains("boolean"), "{bad}: {err}");
+        }
+        // Unknown keys are rejected by name, so a typo cannot silently
+        // drop an option on the floor.
+        for (bad, key) in [
+            (r#"{"kernel":"LL1","n":4,"machine":"epic8","audti":true}"#, "audti"),
+            (r#"{"kernel":"LL1","n":4,"machine":"epic8","wants_timings":true}"#, "wants_timings"),
+        ] {
+            let err = request_from_json(&Json::parse(bad).unwrap()).unwrap_err();
+            assert!(err.contains("unknown request key") && err.contains(key), "{bad}: {err}");
+        }
+        // The canonical spelling parses.
+        let good = r#"{"kernel":"LL1","n":4,"machine":"epic8","audit":true}"#;
+        let req = request_from_json(&Json::parse(good).unwrap()).unwrap();
+        assert!(req.want_audit);
+    }
+
+    #[test]
+    fn audit_reports_survive_the_wire() {
+        let svc = Service::new(ServiceConfig { shards: 1, ..Default::default() });
+        let mut req = ScheduleRequest::new("LL5", 16, MachineSpec::Preset("epic8".into()));
+        req.want_audit = true;
+        let resp = svc.submit(req.clone());
+        assert!(resp.ok && resp.verified);
+        let rep = resp.audit.as_ref().expect("opted-in audit report is delivered");
+        assert!(rep.is_clean(), "service schedules audit clean: {rep}");
+        assert!(rep.rows > 0 && rep.ops > 0, "report carries the audit's coverage counts");
+        let back =
+            response_from_json(&Json::parse(&response_to_json(&resp).line()).unwrap()).unwrap();
+        assert!(back.bits_eq(&resp));
+        assert_eq!(back.audit, resp.audit, "audit report is lossless on the wire");
+
+        // Without the opt-in the response wire form has no audit field at
+        // all, and parses back to None.
+        req.want_audit = false;
+        req.id += 1;
+        let bare = svc.submit(req);
+        assert!(bare.audit.is_none(), "audit delivery is opt-in");
+        let j = response_to_json(&bare);
+        assert!(j.line().find("\"audit\"").is_none(), "no audit key on the default wire form");
+        let back = response_from_json(&Json::parse(&j.line()).unwrap()).unwrap();
+        assert!(back.audit.is_none());
+        assert!(back.bits_eq(&bare), "audit delivery does not perturb bit-identity");
+    }
+
+    #[test]
+    fn dirty_audit_reports_round_trip() {
+        // Failure shape: a report with structured diagnostics (the form
+        // `grip-client --check` fails on) survives to_json/from_json.
+        let rep = grip_audit::AuditReport {
+            diagnostics: vec![grip_audit::Diagnostic {
+                code: grip_audit::AuditCode::LatencyShadow,
+                row: 7,
+                op: Some("load x".into()),
+                register: Some("r12".into()),
+                message: "row 7 reads r12 2 cycles early".into(),
+            }],
+            rows: 9,
+            ops: 31,
+            mem_deps: 4,
+            reg_deps: 18,
+        };
+        let back = grip_audit::AuditReport::from_json(&Json::parse(&rep.to_json().line()).unwrap())
+            .unwrap();
+        assert_eq!(back, rep);
+        assert!(!back.is_clean());
     }
 
     #[test]

@@ -118,6 +118,11 @@ pub struct ScheduleRequest {
     /// Opt in to the per-stage `timings` breakdown on the wire response
     /// (in-process responses always carry it).
     pub want_timings: bool,
+    /// Opt in to attaching the `grip-audit` static-verification report to
+    /// the response. The engine audits every cold schedule regardless (and
+    /// counts runs/diagnostics in the metrics registry); this flag only
+    /// controls delivery of the report object.
+    pub want_audit: bool,
 }
 
 impl ScheduleRequest {
@@ -133,6 +138,7 @@ impl ScheduleRequest {
             options: EngineOptions::default(),
             trace: None,
             want_timings: false,
+            want_audit: false,
         }
     }
 }
@@ -233,6 +239,11 @@ pub struct ScheduleResponse {
     /// ~zero on a schedule-cache hit). Present iff the request opted in
     /// via [`ScheduleRequest::want_timings`].
     pub timings: Option<StageBreakdown>,
+    /// The `grip-audit` static verification report for the scheduled
+    /// window. Computed on every cold run and cached with the response;
+    /// delivered iff the request opted in via
+    /// [`ScheduleRequest::want_audit`].
+    pub audit: Option<grip_audit::AuditReport>,
 }
 
 impl ScheduleResponse {
@@ -263,13 +274,16 @@ impl ScheduleResponse {
             shard: 0,
             trace_id: String::new(),
             timings: None,
+            audit: None,
         }
     }
 
     /// Bitwise content equality: every field that must be identical
     /// between a cache hit and a cold run (floats compared by bit
     /// pattern; the per-delivery fields
-    /// `id`/`cache`/`wall_ns`/`shard`/`trace_id`/`timings` excluded).
+    /// `id`/`cache`/`wall_ns`/`shard`/`trace_id`/`timings`/`audit`
+    /// excluded — the audit report is delivery-gated by `want_audit`,
+    /// though its content is itself a pure function of the request).
     pub fn bits_eq(&self, other: &ScheduleResponse) -> bool {
         self.ok == other.ok
             && self.error == other.error

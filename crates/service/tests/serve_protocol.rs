@@ -154,7 +154,11 @@ fn grip_serve_answers_traces_timings_and_metrics() {
     // Timings: present only where requested, decompose the wall time.
     let t = responses[0].get("timings").expect("timings on opted-in response");
     let stage = |k: &str| t.get(k).and_then(Json::as_i64).expect(k);
-    let sum = stage("prepare_ns") + stage("schedule_ns") + stage("hazards_ns") + stage("verify_ns");
+    let sum = stage("prepare_ns")
+        + stage("schedule_ns")
+        + stage("hazards_ns")
+        + stage("verify_ns")
+        + stage("audit_ns");
     let total = stage("total_ns");
     assert!(total > 0 && sum <= total, "stage sum {sum} must fit in total {total}");
     let wall_ns = responses[0].get("wall_ns").and_then(Json::as_i64).expect("wall_ns");

@@ -30,6 +30,7 @@
 //! transformation bug.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod machine;
 

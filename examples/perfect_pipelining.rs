@@ -42,6 +42,7 @@ fn main() {
             gap_prevention: true,
             dce: true,
             try_roll: true,
+            audit: false,
         },
     );
     let pat = report.pattern.expect("converges");

@@ -77,7 +77,10 @@
 //! assert_eq!(stats.template_violations, 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use grip_analysis as analysis;
+pub use grip_audit as audit;
 pub use grip_baselines as baselines;
 pub use grip_core as core;
 pub use grip_ir as ir;
@@ -92,6 +95,7 @@ pub use grip_vm as vm;
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use grip_analysis::{Ddg, RankTable};
+    pub use grip_audit::{audit_schedule, AuditCode, AuditReport, Diagnostic};
     pub use grip_baselines::{post_pipeline, schedule_unifiable, PostOptions};
     pub use grip_core::{schedule_region, GripConfig, Resources};
     pub use grip_ir::{

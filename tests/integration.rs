@@ -32,6 +32,7 @@ fn grip_opts(fus: usize) -> PipelineOptions {
         gap_prevention: true,
         dce: true,
         try_roll: false,
+        audit: false,
     }
 }
 

@@ -28,6 +28,7 @@ fn opts(resources: Resources, unwind: usize) -> PipelineOptions {
         gap_prevention: true,
         dce: true,
         try_roll: false,
+        audit: false,
     }
 }
 

@@ -127,6 +127,7 @@ fn check_stall_free(g0: &Graph, desc: MachineDesc, len: usize, label: &str) {
             gap_prevention: true,
             dce: true,
             try_roll: false,
+            audit: false,
         },
     );
     g.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
@@ -191,6 +192,7 @@ fn kernels_schedule_stall_free_on_all_presets() {
                     gap_prevention: true,
                     dce: true,
                     try_roll: false,
+                    audit: false,
                 },
             );
             let label = format!("{} on {}", k.name, desc.name);
