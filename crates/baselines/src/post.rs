@@ -22,8 +22,7 @@ use grip_ir::{Graph, NodeId, OpId, RegId, Tree, TreePath};
 use grip_machine::{FuClass, MachineDesc, UNCAPPED};
 use grip_percolate::Ctx;
 use grip_pipeline::{
-    detect, estimate_cpi, fu_lower_bound, perfect_pipeline, steady_rows, PipelineOptions,
-    PipelineReport,
+    certify_window, detect, perfect_pipeline, steady_rows, PipelineOptions, PipelineReport,
 };
 use std::collections::HashSet;
 
@@ -83,9 +82,10 @@ pub fn post_pipeline(g: &mut Graph, opts: PostOptions) -> PipelineReport {
 
     let steady = steady_rows(g, &out.region, window.head);
     let pattern = detect(g, &window, &steady);
-    let cpi_estimate = estimate_cpi(g, &window, &steady).map(|c| {
-        fu_lower_bound(g, &window, &steady, opts.resources.desc()).map_or(c, |b| c.max(b))
-    });
+    // The shared certify step: the phase-2 DDG was rebuilt on the broken
+    // rows, so re-percolated duplicates may miss some memory pairs — the
+    // prover simply proves a (still sound) weaker bound there.
+    let (bounds, cpi_estimate) = certify_window(g, &window, &steady, &ddg, opts.resources.desc());
     PipelineReport {
         window,
         stats: out.stats,
@@ -97,6 +97,7 @@ pub fn post_pipeline(g: &mut Graph, opts: PostOptions) -> PipelineReport {
         // POST's phase-2 row-breaking invalidates the phase-1 window's
         // orig bookkeeping, so the GRiP auditor does not apply here.
         audit: None,
+        bounds,
     }
 }
 

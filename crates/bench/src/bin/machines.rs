@@ -4,8 +4,10 @@
 //! sequential program on the *same* machine, stalls, and schedule length.
 //!
 //! Every cell is backed by a bitwise simulation equivalence check, the
-//! simulator's issue-template validation, and the grip-audit static
-//! verifier — any diagnostic fails the sweep.
+//! simulator's issue-template validation, the grip-audit static verifier
+//! — any diagnostic fails the sweep — and the grip-bounds soundness gate:
+//! no cell may achieve fewer steady rows than its proven lower bound, nor
+//! fewer VM cycles than the bound scaled by its full-traversal count.
 //!
 //! Usage: `machines [trip-count] [--seq]` (default n = 100, parallel).
 
@@ -40,6 +42,27 @@ fn main() {
         })
         .collect();
 
+    // Bound-soundness gate: the certificate bounds one full traversal of
+    // the steady window, so the achieved rows may never undercut it, and
+    // neither may the measured wall clock (trips always exceed the unwind
+    // here, so at least one full pass runs). Stronger, the trip count —
+    // at least `n - 5`, the deepest kernel induction offset (LL4) —
+    // forces `trip/unwind - 2` complete steady traversals (slack for the
+    // prologue pass and the final partial one), each costing the bound.
+    let unsound: Vec<&_> = cells
+        .iter()
+        .filter(|c| {
+            let trip = (n.max(5) - 5) as u64;
+            let traversals = if c.unwind > 0 && trip >= c.unwind as u64 {
+                (trip / c.unwind as u64).saturating_sub(2).max(1)
+            } else {
+                0
+            };
+            (c.schedule_rows as u64) < c.bounds.bound_cycles
+                || c.sched_cycles < traversals * c.bounds.bound_cycles
+        })
+        .collect();
+
     // Timing gate: the per-stage self times must decompose each cell's
     // wall time — unaccounted time beyond 5% means a stage span is
     // missing. Cells under 1 ms are skipped (timer noise dominates).
@@ -49,10 +72,13 @@ fn main() {
         .filter(|c| (c.timings.stage_sum_ns() as f64) < 0.95 * c.timings.total_ns as f64)
         .collect();
 
-    if bad.is_empty() && unaccounted.is_empty() {
+    if bad.is_empty() && unsound.is_empty() && unaccounted.is_empty() {
+        let exits = cells.iter().filter(|c| c.bound_exit).count();
+        let at_bound = cells.iter().filter(|c| c.bounds.at_bound).count();
         println!(
             "\nAll cells verified against sequential execution and audit-clean; \
-             no template violations, no interlock stalls; \
+             no template violations, no interlock stalls; every bound certificate \
+             sound ({at_bound} cells at their proven bound, {exits} bound-driven exits); \
              stage timings account for every cell's wall time."
         );
     } else {
@@ -67,6 +93,18 @@ fn main() {
                 c.template_violations,
                 c.sched_stalls,
                 c.audit_diagnostics
+            );
+        }
+        for c in unsound {
+            println!(
+                "  {} on {}: bound certificate unsound: rows={} sched_cycles={} \
+                 bound_cycles={} unwind={}",
+                c.kernel,
+                c.machine,
+                c.schedule_rows,
+                c.sched_cycles,
+                c.bounds.bound_cycles,
+                c.unwind
             );
         }
         for c in unaccounted {

@@ -6,9 +6,10 @@
 //!
 //! Gates (exit nonzero on violation):
 //! * every response `ok`, VM-verified, with 0 stall cycles, 0 template
-//!   violations, and an attached grip-audit report with zero
-//!   diagnostics — the stall-free invariant and the static audit
-//!   through the service path;
+//!   violations, an attached grip-audit report with zero diagnostics,
+//!   and a sound grip-bounds certificate (no response beats its proven
+//!   lower bound) — the stall-free invariant, the static audit, and the
+//!   bound soundness gate through the service path;
 //! * every cache-hit response bit-identical to the first (cold) response
 //!   for the same work;
 //! * with repeats, a nonzero schedule-cache hit count;
@@ -44,14 +45,15 @@ fn main() {
     }
 
     let service = Service::new(ServiceConfig { shards, ..Default::default() });
-    // Every request opts into the per-stage breakdown and the static
-    // audit report; both ride outside bits_eq, so the bit-identity gate
-    // below is unaffected.
+    // Every request opts into the per-stage breakdown, the static audit
+    // report, and the bound certificate; all three ride outside bits_eq,
+    // so the bit-identity gate below is unaffected.
     let reqs: Vec<_> = mixed_workload(n, repeat, seed)
         .into_iter()
         .map(|mut r| {
             r.want_timings = true;
             r.want_audit = true;
+            r.want_bounds = true;
             r
         })
         .collect();
@@ -73,10 +75,31 @@ fn main() {
     let mut violations: Vec<String> = Vec::new();
     for r in &responses {
         let audit_clean = r.audit.as_ref().is_some_and(|a| a.is_clean());
-        if !r.ok || !r.verified || r.sched_stalls != 0 || r.template_violations != 0 || !audit_clean
+        // Certificate soundness: the bound covers one full traversal of
+        // the steady window; a trip of at least `n - 5` iterations (the
+        // deepest kernel induction offset) forces `trip/unwind - 2`
+        // complete traversals. A missing certificate is itself a
+        // violation (every request opted in), as is one the schedule
+        // beat.
+        let bound_sound = r.bounds.as_ref().is_some_and(|b| {
+            let trip = (r.n.max(5) - 5) as u64;
+            let traversals = if r.unwind > 0 && trip >= r.unwind as u64 {
+                (trip / r.unwind as u64).saturating_sub(2).max(1)
+            } else {
+                0
+            };
+            (r.schedule_rows as u64) >= b.bound_cycles
+                && r.sched_cycles >= traversals * b.bound_cycles
+        });
+        if !r.ok
+            || !r.verified
+            || r.sched_stalls != 0
+            || r.template_violations != 0
+            || !audit_clean
+            || !bound_sound
         {
             violations.push(format!(
-                "{} on {}: ok={} verified={} stalls={} templates={} audit={} {}",
+                "{} on {}: ok={} verified={} stalls={} templates={} audit={} bounds={} {}",
                 r.kernel,
                 r.machine,
                 r.ok,
@@ -84,6 +107,7 @@ fn main() {
                 r.sched_stalls,
                 r.template_violations,
                 r.audit.as_ref().map_or("missing".to_string(), |a| a.summary()),
+                r.bounds.as_ref().map_or("missing".to_string(), |b| b.summary()),
                 r.error.as_deref().unwrap_or("")
             ));
         }
@@ -133,6 +157,7 @@ fn main() {
             ("hazards", t.hazards_ns),
             ("verify", t.verify_ns),
             ("audit", t.audit_ns),
+            ("bounds", t.bounds_ns),
         ] {
             stage_ns.entry(stage).or_default().push(ns);
         }
@@ -173,19 +198,18 @@ fn main() {
     );
     println!("cold stage p50s: {}", {
         let mut parts = Vec::new();
-        for stage in ["prepare", "schedule", "hazards", "verify", "audit"] {
+        for stage in ["prepare", "schedule", "hazards", "verify", "audit", "bounds"] {
             parts.push(format!("{stage} {:.1} us", stage_pcts(stage).0));
         }
         parts.join(", ")
     });
 
-    let stages_json = ["prepare", "schedule", "hazards", "verify", "audit"].into_iter().fold(
-        Json::obj(),
-        |acc, stage| {
+    let stages_json = ["prepare", "schedule", "hazards", "verify", "audit", "bounds"]
+        .into_iter()
+        .fold(Json::obj(), |acc, stage| {
             let (p50, p99) = stage_pcts(stage);
             acc.field(stage, Json::obj().field("p50_us", p50).field("p99_us", p99))
-        },
-    );
+        });
     let json = Json::obj()
         .field("bench", "service")
         .field("trip_count", n as u64)
@@ -214,7 +238,8 @@ fn main() {
     if violations.is_empty() {
         println!(
             "\nAll {total} responses verified, stall-free, template-clean, \
-             audit-clean; every cache hit bit-identical to its cold run."
+             audit-clean, bound-sound; every cache hit bit-identical to its \
+             cold run."
         );
     } else {
         println!("\nVIOLATIONS:");

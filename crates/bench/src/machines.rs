@@ -50,6 +50,17 @@ pub struct MachineCell {
     pub audit_clean: bool,
     /// How many diagnostics it found (0 is the gate).
     pub audit_diagnostics: usize,
+    /// The `grip-bounds` certificate for this cell's steady window.
+    pub bounds: grip_bounds::BoundCertificate,
+    /// The scheduler stopped iterating because the live region matched
+    /// the pigeonhole resource bound.
+    pub bound_exit: bool,
+    /// Candidate-selection rounds the scheduler ran (`stats.picks`) —
+    /// what a bound-driven exit reduces.
+    pub grip_iterations: u64,
+    /// Unwind factor the cell was scheduled with (scales the bound to
+    /// whole-program cycles for the soundness gate).
+    pub unwind: usize,
 }
 
 impl MachineCell {
@@ -70,11 +81,19 @@ impl MachineCell {
             .field("hazard_backfills", self.hazard_backfills)
             .field("audit_clean", self.audit_clean)
             .field("audit_diagnostics", self.audit_diagnostics as u64)
+            .field("bound_cycles", self.bounds.bound_cycles)
+            .field("binding_constraint", self.bounds.binding_constraint.as_str())
+            .field("gap_pct", self.bounds.gap_pct)
+            .field("at_bound", self.bounds.at_bound)
+            .field("bound_exit", self.bound_exit)
+            .field("grip_iterations", self.grip_iterations)
+            .field("unwind", self.unwind as u64)
             .field("prepare_us", self.timings.prepare_ns as f64 / 1000.0)
             .field("schedule_us", self.timings.schedule_ns as f64 / 1000.0)
             .field("hazards_us", self.timings.hazards_ns as f64 / 1000.0)
             .field("verify_us", self.timings.verify_ns as f64 / 1000.0)
             .field("audit_us", self.timings.audit_ns as f64 / 1000.0)
+            .field("bounds_us", self.timings.bounds_ns as f64 / 1000.0)
             .field("wall_us", self.timings.total_ns as f64 / 1000.0)
     }
 }
@@ -93,7 +112,7 @@ pub fn preset_label(desc: &MachineDesc) -> String {
 /// (prepare/schedule/hazards from the pipeline's own spans, verify from
 /// the model runs below) that decomposes the cell's wall time.
 pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
-    let ((rep, verified, seq, sched), stage_timings) = grip_obs::collect(|| {
+    let ((rep, verified, seq, sched, unwind), stage_timings) = grip_obs::collect(|| {
         let (g0, mut g) = {
             // Kernel construction folds into the "prepare" bucket of the
             // breakdown, like the engine's build span.
@@ -103,10 +122,11 @@ pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
             (g0, g)
         };
         let width = desc.width.min(8);
+        let unwind = unwind_for(width);
         let rep = perfect_pipeline(
             &mut g,
             PipelineOptions {
-                unwind: unwind_for(width),
+                unwind,
                 resources: Resources::machine(desc),
                 fold_inductions: true,
                 gap_prevention: true,
@@ -130,7 +150,7 @@ pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
             (Ok(_), Ok(_)) => EquivReport::compare(&g0, &m0, &m1).is_equal(),
             _ => false,
         };
-        (rep, verified, seq, sched)
+        (rep, verified, seq, sched, unwind)
     });
     let seq_cycles = seq.map(|s| s.total_cycles()).unwrap_or(0);
     // The hazard-resolution post-pass makes stall-freedom a scheduler
@@ -156,6 +176,10 @@ pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
         timings: grip_obs::StageBreakdown::from_timings(&stage_timings),
         audit_clean: rep.audit.as_ref().is_some_and(|a| a.is_clean()),
         audit_diagnostics: rep.audit.as_ref().map_or(0, |a| a.diagnostics.len()),
+        bounds: rep.bounds,
+        bound_exit: rep.stats.bound_exits > 0,
+        grip_iterations: rep.stats.picks,
+        unwind,
     }
 }
 

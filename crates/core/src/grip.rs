@@ -119,6 +119,9 @@ pub struct ScheduleStats {
     pub hazard_backfills: u64,
     /// Rows emptied by backfill and reclaimed by the post-pass.
     pub hazard_reclaimed_rows: u64,
+    /// Iteration-loop exits taken because the live region already matched
+    /// the class-aware pigeonhole resource bound (provably row-optimal).
+    pub bound_exits: u64,
 }
 
 /// One event of a traced schedule.
@@ -271,12 +274,32 @@ impl<'g, 'a> Grip<'g, 'a> {
         // reads the clock or the registry, so schedules are bit-identical
         // with instrumentation on.
         let _span = grip_obs::span!("grip");
+        // Bound-driven early exit, on machines with per-class caps only.
+        // Scheduling a node only pulls operations *upward* from rows below
+        // it, so once the cursor stands at row `i` the suffix `i..` is a
+        // closed subproblem: its op multiset can no longer grow, and its
+        // row count can only fall toward the grip-bounds lower bound of
+        // that multiset (class pigeonhole, or the latency-weighted
+        // dataflow critical path — the same analyses the post-scheduling
+        // certificate is built from; the recurrence bound is excluded
+        // because a mid-region suffix does not wrap through the back
+        // edge). When the live suffix already meets its bound, every
+        // remaining visit is a candidate-selection round that provably
+        // cannot shrink the schedule — stop iterating. Uniform-width
+        // machines are excluded to keep their schedules bit-for-bit the
+        // paper's (and a width-1 machine would trivially "exit" before
+        // scheduling at all).
+        let exit_on_bound = self.cfg.resources.desc().has_class_caps();
         let mut i = 0;
         while i < self.region.len() {
             let n = self.region[i];
             if !self.g.node_exists(n) {
                 self.remove_from_region(n);
                 continue;
+            }
+            if exit_on_bound && self.suffix_at_bound(i) {
+                self.stats.bound_exits += 1;
+                break;
             }
             if self.cfg.trace {
                 self.trace.push(TraceEvent::Node(n));
@@ -303,6 +326,35 @@ impl<'g, 'a> Grip<'g, 'a> {
         }
         record_pass_counters(&self.stats);
         ScheduleOutput { stats: self.stats, trace: self.trace, region: self.region }
+    }
+
+    /// True when the live rows from region position `from` onward already
+    /// pack into the minimum row count the static prover can justify for
+    /// their op multiset: the class pigeonhole
+    /// ([`grip_bounds::res_rows_bound`]), or — only when the cheap
+    /// pigeonhole does not close — the latency-weighted dataflow critical
+    /// path from [`grip_bounds::analyze`]. A read-only check: when it
+    /// never fires, the schedule is bit-identical to an unchecked run.
+    fn suffix_at_bound(&self, from: usize) -> bool {
+        let live: Vec<NodeId> =
+            self.region[from..].iter().copied().filter(|&n| self.g.node_exists(n)).collect();
+        let mut counts = grip_bounds::OpCounts::default();
+        for &n in &live {
+            for (_, op) in self.g.node_ops(n) {
+                counts.add(self.g.op(op).kind);
+            }
+        }
+        if counts.noncj + counts.cjs == 0 {
+            return false;
+        }
+        let desc = self.cfg.resources.desc();
+        let rows = live.len() as u64;
+        let (res, _) = grip_bounds::res_rows_bound(&counts, desc);
+        if rows == res {
+            return true;
+        }
+        let ana = grip_bounds::analyze(self.g, &live, self.ctx.ddg, desc);
+        rows == ana.res_mii.max(ana.critical_path)
     }
 
     /// `procedure schedule(n)`: fill `n` with the best moveable operations.
@@ -880,6 +932,7 @@ fn record_pass_counters(s: &ScheduleStats) {
     grip_obs::counter!("grip_renames_total").add(s.renames);
     grip_obs::counter!("grip_suspensions_total").add(s.suspensions);
     grip_obs::counter!("grip_dce_removed_total").add(s.dce_removed);
+    grip_obs::counter!("grip_bound_exits_total").add(s.bound_exits);
 }
 
 /// Convenience: schedule `region` of `g` and return the output.

@@ -64,7 +64,7 @@ impl StageTimings {
     }
 }
 
-/// The fixed wire shape of a request's stage breakdown: the five stages
+/// The fixed wire shape of a request's stage breakdown: the six stages
 /// the protocol and both bench JSONs report, in nanoseconds. `build`
 /// (kernel construction + hashing) is folded into `prepare`; `grip`
 /// (the scheduler proper) into `schedule`.
@@ -80,6 +80,8 @@ pub struct StageBreakdown {
     pub verify_ns: u64,
     /// The static audit of the scheduled window (`grip-audit`), when run.
     pub audit_ns: u64,
+    /// The optimality-bound certificate (`grip-bounds`), when computed.
+    pub bounds_ns: u64,
     /// Wall nanoseconds of the whole measured scope.
     pub total_ns: u64,
 }
@@ -93,13 +95,19 @@ impl StageBreakdown {
             hazards_ns: t.get("hazards"),
             verify_ns: t.get("verify"),
             audit_ns: t.get("audit"),
+            bounds_ns: t.get("bounds"),
             total_ns: t.total_ns,
         }
     }
 
-    /// Sum of the five stages (everything but `total_ns`).
+    /// Sum of the six stages (everything but `total_ns`).
     pub fn stage_sum_ns(&self) -> u64 {
-        self.prepare_ns + self.schedule_ns + self.hazards_ns + self.verify_ns + self.audit_ns
+        self.prepare_ns
+            + self.schedule_ns
+            + self.hazards_ns
+            + self.verify_ns
+            + self.audit_ns
+            + self.bounds_ns
     }
 }
 

@@ -7,9 +7,10 @@ use crate::simplify::simplify_inductions;
 use crate::unwind::{unwind, Window};
 use grip_analysis::{Ddg, RankTable};
 use grip_audit::AuditReport;
+use grip_bounds::BoundCertificate;
 use grip_core::{schedule_region, GripConfig, Resources, ScheduleStats};
 use grip_ir::{Graph, NodeId};
-use grip_machine::{FuClass, UNCAPPED};
+use grip_machine::{FuClass, MachineDesc, UNCAPPED};
 use grip_percolate::Ctx;
 
 /// Options for [`perfect_pipeline`].
@@ -73,6 +74,9 @@ pub struct PipelineReport {
     /// Static audit of the finished schedule, when requested (always
     /// present in debug builds).
     pub audit: Option<AuditReport>,
+    /// Proven lower bound on the steady-window schedule length, with the
+    /// achieved-vs-provable gap (`grip-bounds`).
+    pub bounds: BoundCertificate,
 }
 
 impl PipelineReport {
@@ -171,9 +175,7 @@ pub fn schedule_window(
     let region = out.region.clone();
     let steady = steady_rows(g, &region, window.head);
     let pattern = detect(g, &window, &steady);
-    let cpi_estimate = estimate_cpi(g, &window, &steady).map(|c| {
-        fu_lower_bound(g, &window, &steady, opts.resources.desc()).map_or(c, |b| c.max(b))
-    });
+    let (bounds, cpi_estimate) = certify_window(g, &window, &steady, ddg, opts.resources.desc());
     let rolled = match (opts.try_roll, pattern) {
         (true, Some(pat)) => {
             // The earliest pattern occurrence may still read fill-defined
@@ -229,5 +231,27 @@ pub fn schedule_window(
         cpi_estimate,
         rolled,
         audit,
+        bounds,
     }
+}
+
+/// Certify a scheduled steady window: prove the `grip-bounds` lower bound
+/// (under its own "bounds" stage span) and derive the steady-state CPI
+/// estimate, clamped from below by the class-aware resource bound. The one
+/// shared post-scheduling summary both the Perfect Pipelining driver and
+/// the POST baseline report.
+pub fn certify_window(
+    g: &Graph,
+    window: &Window,
+    steady: &[NodeId],
+    ddg: &Ddg,
+    desc: &MachineDesc,
+) -> (BoundCertificate, Option<f64>) {
+    let bounds = {
+        let _span = grip_obs::span!("bounds");
+        grip_bounds::certificate(g, steady, ddg, desc)
+    };
+    let cpi_estimate = estimate_cpi(g, window, steady)
+        .map(|c| fu_lower_bound(g, window, steady, desc).map_or(c, |b| c.max(b)));
+    (bounds, cpi_estimate)
 }

@@ -21,7 +21,8 @@ mod simplify;
 mod unwind;
 
 pub use driver::{
-    perfect_pipeline, prepare, schedule_window, PipelineOptions, PipelineReport, PreparedWindow,
+    certify_window, perfect_pipeline, prepare, schedule_window, PipelineOptions, PipelineReport,
+    PreparedWindow,
 };
 pub use pattern::{detect, estimate_cpi, fu_lower_bound, steady_rows, Pattern};
 pub use roll::{roll, RollError, RollOutcome};

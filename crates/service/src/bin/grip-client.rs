@@ -125,13 +125,15 @@ fn main() {
 }
 
 /// The sweep `--emit` and `--addr` drive: the mixed workload with every
-/// request opting into the grip-audit report, so `--check` can gate on
-/// audit-clean responses end to end.
+/// request opting into the grip-audit report and the grip-bounds
+/// certificate, so `--check` can gate on audit-clean, bound-sound
+/// responses end to end.
 fn audit_workload(opts: &Opts) -> Vec<grip_service::ScheduleRequest> {
     mixed_workload(opts.n, opts.repeat, opts.seed)
         .into_iter()
         .map(|mut r| {
             r.want_audit = true;
+            r.want_bounds = true;
             r
         })
         .collect()
@@ -339,16 +341,31 @@ fn finish(
         // codes: the auditor proved something about this schedule that
         // the dynamic checks did not see.
         let audit_dirty = r.audit.as_ref().is_some_and(|a| !a.diagnostics.is_empty());
+        // Bound soundness: the certificate bounds one full traversal of
+        // the steady window, and a trip count of at least `n - 5` (the
+        // deepest kernel induction offset) forces `trip/unwind - 2`
+        // complete traversals — no response may report fewer VM cycles
+        // than the scaled proven bound.
+        let bound_unsound = r.bounds.as_ref().is_some_and(|b| {
+            let trip = (r.n.max(5) - 5) as u64;
+            let traversals = if r.unwind > 0 && trip >= r.unwind as u64 {
+                (trip / r.unwind as u64).saturating_sub(2).max(1)
+            } else {
+                0
+            };
+            r.ok && r.sched_cycles < traversals * b.bound_cycles
+        });
         let bad = !r.ok
             || !r.verified
             || r.sched_stalls != 0
             || r.template_violations != 0
-            || audit_dirty;
+            || audit_dirty
+            || bound_unsound;
         if bad {
             violations += 1;
             eprintln!(
                 "[grip-client] VIOLATION {} on {}: ok={} verified={} stalls={} templates={} \
-                 audit={} {}",
+                 audit={} bounds={} {}",
                 r.kernel,
                 r.machine,
                 r.ok,
@@ -356,6 +373,7 @@ fn finish(
                 r.sched_stalls,
                 r.template_violations,
                 r.audit.as_ref().map_or("absent".to_string(), |a| a.summary()),
+                r.bounds.as_ref().map_or("absent".to_string(), |b| b.summary()),
                 r.error.as_deref().unwrap_or(""),
             );
         }

@@ -167,10 +167,14 @@ impl Engine {
         // breakdown is opt-in (`want_timings`) so the default wire
         // response does not grow.
         resp.timings = req.want_timings.then(|| grip_obs::StageBreakdown::from_timings(&timings));
-        // The audit report is content (cached with the response), but its
-        // delivery is opt-in, same as the timings breakdown.
+        // The audit report and bound certificate are content (cached with
+        // the response), but their delivery is opt-in, same as the
+        // timings breakdown.
         if !req.want_audit {
             resp.audit = None;
+        }
+        if !req.want_bounds {
+            resp.bounds = None;
         }
         resp.trace_id = match &req.trace {
             Some(t) => t.clone(),
@@ -279,6 +283,12 @@ impl Engine {
         if let Some(a) = &audit {
             grip_obs::counter!("grip_audit_diagnostics_total").add(a.diagnostics.len() as u64);
         }
+        // The bound certificate is cached with the response like the audit
+        // report; `want_bounds` only gates delivery.
+        let bounds = Some(rep.bounds);
+        if rep.bounds.at_bound {
+            grip_obs::counter!("grip_at_bound_total").inc();
+        }
 
         let (verified, seq_cycles, sched_cycles, sched_stalls, template_violations, state_digest) = {
             let _span = grip_obs::span!("verify");
@@ -316,6 +326,7 @@ impl Engine {
             trace_id: String::new(),
             timings: None,
             audit,
+            bounds,
         };
         self.sched_cache.insert(skey, resp.clone());
         resp

@@ -17,10 +17,11 @@
 //! mean uncapped, missing latencies mean one cycle). `unwind` and the four
 //! option toggles are optional, as are `trace` (a client-chosen trace id,
 //! echoed back; absent ids are shard-assigned), `timings` (opt into a
-//! per-stage breakdown on the response), and `audit` (opt into attaching
+//! per-stage breakdown on the response), `audit` (opt into attaching
 //! the `grip-audit` static verification report — the engine audits every
-//! cold schedule either way). Unknown request keys are rejected, not
-//! ignored. `{"cmd":"stats"}` answers with
+//! cold schedule either way), and `bounds` (opt into attaching the
+//! `grip-bounds` optimality certificate — likewise proven on every cold
+//! schedule). Unknown request keys are rejected, not ignored. `{"cmd":"stats"}` answers with
 //! the aggregate cache counters after all in-flight requests drain;
 //! `{"cmd":"metrics"}` dumps the process-wide metrics registry (JSON, or
 //! Prometheus text with `"format":"prometheus"`).
@@ -104,6 +105,9 @@ pub fn request_to_json(req: &ScheduleRequest) -> Json {
     if req.want_audit {
         j = j.field("audit", true);
     }
+    if req.want_bounds {
+        j = j.field("bounds", true);
+    }
     let d = EngineOptions::default();
     let o = req.options;
     if o.fold_inductions != d.fold_inductions {
@@ -146,7 +150,7 @@ fn lat_of(j: Option<&Json>, field: &str) -> Result<u32, String> {
 /// Every key a request object may carry. Anything else is rejected —
 /// silently ignoring a misspelled `"audti": true` would quietly serve a
 /// different request than the caller believes they made.
-const REQUEST_KEYS: [&str; 12] = [
+const REQUEST_KEYS: [&str; 13] = [
     "id",
     "kernel",
     "n",
@@ -155,6 +159,7 @@ const REQUEST_KEYS: [&str; 12] = [
     "trace",
     "timings",
     "audit",
+    "bounds",
     "fold_inductions",
     "gap_prevention",
     "dce",
@@ -232,6 +237,7 @@ pub fn request_from_json(j: &Json) -> Result<ScheduleRequest, String> {
     };
     let want_timings = flag("timings", false)?;
     let want_audit = flag("audit", false)?;
+    let want_bounds = flag("bounds", false)?;
     Ok(ScheduleRequest {
         id: j.get("id").and_then(Json::as_i64).unwrap_or(0) as u64,
         kernel,
@@ -242,6 +248,7 @@ pub fn request_from_json(j: &Json) -> Result<ScheduleRequest, String> {
         trace,
         want_timings,
         want_audit,
+        want_bounds,
     })
 }
 
@@ -265,6 +272,7 @@ fn stats_to_json(s: &ScheduleStats) -> Json {
         .field("hazard_delay_rows", s.hazard_delay_rows)
         .field("hazard_backfills", s.hazard_backfills)
         .field("hazard_reclaimed_rows", s.hazard_reclaimed_rows)
+        .field("bound_exits", s.bound_exits)
 }
 
 fn stats_from_json(j: Option<&Json>) -> ScheduleStats {
@@ -288,6 +296,7 @@ fn stats_from_json(j: Option<&Json>) -> ScheduleStats {
         hazard_delay_rows: f("hazard_delay_rows"),
         hazard_backfills: f("hazard_backfills"),
         hazard_reclaimed_rows: f("hazard_reclaimed_rows"),
+        bound_exits: f("bound_exits"),
     }
 }
 
@@ -332,12 +341,17 @@ pub fn response_to_json(r: &ScheduleResponse) -> Json {
                 .field("hazards_ns", t.hazards_ns)
                 .field("verify_ns", t.verify_ns)
                 .field("audit_ns", t.audit_ns)
+                .field("bounds_ns", t.bounds_ns)
                 .field("total_ns", t.total_ns),
         ),
         None => j,
     };
-    match &r.audit {
+    let j = match &r.audit {
         Some(a) => j.field("audit", a.to_json()),
+        None => j,
+    };
+    match &r.bounds {
+        Some(b) => j.field("bounds", b.to_json()),
         None => j,
     }
 }
@@ -395,12 +409,17 @@ pub fn response_from_json(j: &Json) -> Result<ScheduleResponse, String> {
                 hazards_ns: ns("hazards_ns"),
                 verify_ns: ns("verify_ns"),
                 audit_ns: ns("audit_ns"),
+                bounds_ns: ns("bounds_ns"),
                 total_ns: ns("total_ns"),
             }
         }),
         audit: match j.get("audit") {
             None | Some(Json::Null) => None,
             Some(a) => Some(grip_audit::AuditReport::from_json(a)?),
+        },
+        bounds: match j.get("bounds") {
+            None | Some(Json::Null) => None,
+            Some(b) => Some(grip_bounds::BoundCertificate::from_json(b)?),
         },
     })
 }
@@ -753,6 +772,75 @@ mod tests {
             .unwrap();
         assert_eq!(back, rep);
         assert!(!back.is_clean());
+    }
+
+    #[test]
+    fn malformed_bounds_flags_are_rejected() {
+        // "bounds", like "audit", is a strict JSON boolean.
+        for bad in [
+            r#"{"kernel":"LL1","n":4,"machine":"epic8","bounds":"yes"}"#,
+            r#"{"kernel":"LL1","n":4,"machine":"epic8","bounds":1}"#,
+            r#"{"kernel":"LL1","n":4,"machine":"epic8","bounds":null}"#,
+        ] {
+            let err = request_from_json(&Json::parse(bad).unwrap()).unwrap_err();
+            assert!(err.contains("boolean"), "{bad}: {err}");
+        }
+        let err = request_from_json(
+            &Json::parse(r#"{"kernel":"LL1","n":4,"machine":"epic8","bouns":true}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown request key") && err.contains("bouns"), "{err}");
+        // The canonical spelling parses and round-trips.
+        let good = r#"{"kernel":"LL1","n":4,"machine":"epic8","bounds":true}"#;
+        let req = request_from_json(&Json::parse(good).unwrap()).unwrap();
+        assert!(req.want_bounds);
+        let back = request_from_json(&Json::parse(&request_to_json(&req).line()).unwrap()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn bound_certificates_survive_the_wire() {
+        let svc = Service::new(ServiceConfig { shards: 1, ..Default::default() });
+        let mut req = ScheduleRequest::new("LL5", 16, MachineSpec::Preset("epic8".into()));
+        req.want_bounds = true;
+        let resp = svc.submit(req.clone());
+        assert!(resp.ok && resp.verified);
+        let cert = resp.bounds.expect("opted-in certificate is delivered");
+        assert!(cert.bound_cycles > 0, "a scheduled loop has a nonzero bound");
+        assert!(
+            (resp.schedule_rows as u64) >= cert.bound_cycles,
+            "service schedules never beat their own certificate: {cert:?}"
+        );
+        let back =
+            response_from_json(&Json::parse(&response_to_json(&resp).line()).unwrap()).unwrap();
+        assert!(back.bits_eq(&resp));
+        assert_eq!(back.bounds, resp.bounds, "certificate is lossless on the wire");
+
+        // Every binding-constraint label survives the response wire form.
+        for bc in grip_bounds::BindingConstraint::ALL {
+            let mut tagged = resp.clone();
+            tagged.bounds = Some(grip_bounds::BoundCertificate {
+                bound_cycles: 17,
+                binding_constraint: bc,
+                gap_pct: 6.25,
+                at_bound: false,
+            });
+            let wire = response_to_json(&tagged).line();
+            let back = response_from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(back.bounds, tagged.bounds, "{bc} must survive the wire");
+        }
+
+        // Without the opt-in the wire form has no bounds key at all, and
+        // delivery does not perturb bit-identity.
+        req.want_bounds = false;
+        req.id += 1;
+        let bare = svc.submit(req);
+        assert!(bare.bounds.is_none(), "bounds delivery is opt-in");
+        let j = response_to_json(&bare).line();
+        assert!(j.find("\"bounds\"").is_none(), "no bounds key on the default wire form");
+        let back = response_from_json(&Json::parse(&j).unwrap()).unwrap();
+        assert!(back.bounds.is_none());
+        assert!(back.bits_eq(&bare), "bounds delivery does not perturb bit-identity");
     }
 
     #[test]

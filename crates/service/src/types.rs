@@ -123,6 +123,11 @@ pub struct ScheduleRequest {
     /// counts runs/diagnostics in the metrics registry); this flag only
     /// controls delivery of the report object.
     pub want_audit: bool,
+    /// Opt in to attaching the `grip-bounds` optimality certificate. The
+    /// engine proves the bound on every cold schedule regardless (and the
+    /// scheduler uses it for early exit); this flag only controls delivery
+    /// of the certificate object.
+    pub want_bounds: bool,
 }
 
 impl ScheduleRequest {
@@ -139,6 +144,7 @@ impl ScheduleRequest {
             trace: None,
             want_timings: false,
             want_audit: false,
+            want_bounds: false,
         }
     }
 }
@@ -244,6 +250,10 @@ pub struct ScheduleResponse {
     /// delivered iff the request opted in via
     /// [`ScheduleRequest::want_audit`].
     pub audit: Option<grip_audit::AuditReport>,
+    /// The `grip-bounds` optimality certificate for the scheduled window.
+    /// Proven on every cold run and cached with the response; delivered
+    /// iff the request opted in via [`ScheduleRequest::want_bounds`].
+    pub bounds: Option<grip_bounds::BoundCertificate>,
 }
 
 impl ScheduleResponse {
@@ -275,15 +285,17 @@ impl ScheduleResponse {
             trace_id: String::new(),
             timings: None,
             audit: None,
+            bounds: None,
         }
     }
 
     /// Bitwise content equality: every field that must be identical
     /// between a cache hit and a cold run (floats compared by bit
     /// pattern; the per-delivery fields
-    /// `id`/`cache`/`wall_ns`/`shard`/`trace_id`/`timings`/`audit`
-    /// excluded — the audit report is delivery-gated by `want_audit`,
-    /// though its content is itself a pure function of the request).
+    /// `id`/`cache`/`wall_ns`/`shard`/`trace_id`/`timings`/`audit`/
+    /// `bounds` excluded — the audit report and bound certificate are
+    /// delivery-gated by `want_audit`/`want_bounds`, though their content
+    /// is itself a pure function of the request).
     pub fn bits_eq(&self, other: &ScheduleResponse) -> bool {
         self.ok == other.ok
             && self.error == other.error

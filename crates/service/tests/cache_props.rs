@@ -50,11 +50,13 @@ fn random_request(state: &mut u64, id: u64) -> ScheduleRequest {
         options,
         trace: None,
         want_timings: false,
-        // Mix audited deliveries into the stream: bit-identity must hold
-        // whether or not the report rides along. Keyed off `id` rather
-        // than the PRNG so the request sequence (and thus the cache-hit
-        // pattern) is unchanged from an audit-free stream.
+        // Mix audited and certified deliveries into the stream:
+        // bit-identity must hold whether or not the reports ride along.
+        // Keyed off `id` rather than the PRNG so the request sequence
+        // (and thus the cache-hit pattern) is unchanged from a bare
+        // stream.
         want_audit: id % 2 == 0,
+        want_bounds: id % 3 == 0,
     }
 }
 

@@ -82,6 +82,7 @@
 pub use grip_analysis as analysis;
 pub use grip_audit as audit;
 pub use grip_baselines as baselines;
+pub use grip_bounds as bounds;
 pub use grip_core as core;
 pub use grip_ir as ir;
 pub use grip_json as json;
@@ -97,6 +98,7 @@ pub mod prelude {
     pub use grip_analysis::{Ddg, RankTable};
     pub use grip_audit::{audit_schedule, AuditCode, AuditReport, Diagnostic};
     pub use grip_baselines::{post_pipeline, schedule_unifiable, PostOptions};
+    pub use grip_bounds::{BindingConstraint, BoundCertificate};
     pub use grip_core::{schedule_region, GripConfig, Resources};
     pub use grip_ir::{
         ArrayId, Graph, NodeId, OpId, OpKind, Operand, Operation, ProgramBuilder, RegId, Value,
