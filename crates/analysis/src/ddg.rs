@@ -35,7 +35,7 @@ impl Ddg {
     pub fn build(g: &Graph, root: NodeId) -> Ddg {
         let mut order: Vec<OpId> = Vec::new();
         for n in reverse_postorder(g, root) {
-            for (_, op) in g.node_ops(n) {
+            for &(_, op) in g.node_ops(n) {
                 order.push(op);
             }
         }

@@ -27,6 +27,6 @@ mod rank;
 pub use affine::{may_alias, AffineAddr, AffineMap};
 pub use bitset::BitSet;
 pub use ddg::{ChainMetrics, Ddg};
-pub use liveness::Liveness;
+pub use liveness::{Liveness, LivenessCache};
 pub use order::{reverse_postorder, Dominators, OrderIndex};
 pub use rank::{Priority, RankTable};

@@ -12,119 +12,134 @@ use crate::order::reverse_postorder;
 use grip_ir::{Graph, NodeId, OpId, RegId};
 use std::collections::HashMap;
 
+/// Reusable per-node dataflow summaries (entry uses and must-defs), keyed
+/// by [`Graph::node_stamp`] so only nodes edited since the previous
+/// [`Liveness::compute_with`] call pay the tree walk again. The scheduler
+/// recomputes liveness after every scheduled node; between recomputes it
+/// touches a handful of rows, so the cache turns each recompute from
+/// O(nodes × tree) into O(edited nodes × tree) plus the bitset fixpoint.
+#[derive(Default)]
+pub struct LivenessCache {
+    /// Indexed by node id.
+    node: Vec<Option<NodeSummary>>,
+}
+
+/// One node's cached dataflow summary: `(stamp, uses, must_defs)`.
+type NodeSummary = (u64, Vec<RegId>, Vec<RegId>);
+
 /// Per-node live-in register sets.
 pub struct Liveness {
     nreg: usize,
-    live_in: HashMap<NodeId, BitSet>,
+    live_in: Vec<Option<BitSet>>,
 }
 
 impl Liveness {
     /// Fixpoint liveness for all nodes reachable from the entry.
     pub fn compute(g: &Graph) -> Liveness {
+        Liveness::compute_with(g, &mut LivenessCache::default())
+    }
+
+    /// [`Liveness::compute`] reusing `cache` for the per-node use/def
+    /// summaries across calls. Bit-identical results; only the tree walks
+    /// for unchanged nodes are skipped.
+    pub fn compute_with(g: &Graph, cache: &mut LivenessCache) -> Liveness {
         let nreg = g.reg_count();
         let order = reverse_postorder(g, g.entry);
-        let mut lv =
-            Liveness { nreg, live_in: order.iter().map(|&n| (n, BitSet::new(nreg))).collect() };
+        let bound = g.node_index_bound();
+        if cache.node.len() < bound {
+            cache.node.resize_with(bound, || None);
+        }
+        let mut live_in: Vec<Option<BitSet>> = Vec::new();
+        live_in.resize_with(bound, || None);
+        for &n in &order {
+            live_in[n.index()] = Some(BitSet::new(nreg));
+            let stamp = g.node_stamp(n);
+            let fresh = match &cache.node[n.index()] {
+                Some((s, _, _)) => *s != stamp,
+                None => true,
+            };
+            if fresh {
+                let mut uses: Vec<RegId> = Vec::new();
+                for &(_, op) in g.node_ops(n) {
+                    uses.extend(g.op(op).reads());
+                }
+                cache.node[n.index()] = Some((stamp, uses, must_defs_of(g, n)));
+            }
+        }
+        let mut scratch = BitSet::new(nreg);
         let mut changed = true;
         while changed {
             changed = false;
             for &n in order.iter().rev() {
-                let li = lv.local_live_in(g, n);
-                let entry = lv.live_in.get_mut(&n).expect("node in order");
-                if *entry != li {
-                    *entry = li;
+                scratch.clear();
+                // live-out: union of successors' live-in; exits contribute
+                // the program's observable registers.
+                for &(_, succ) in g.node_leaves(n) {
+                    match succ {
+                        Some(s) => {
+                            if let Some(set) = live_in[s.index()].as_ref() {
+                                scratch.union_with(set);
+                            }
+                        }
+                        None => {
+                            for &r in &g.live_out {
+                                scratch.insert(r.index());
+                            }
+                        }
+                    }
+                }
+                let (_, uses, must) = cache.node[n.index()].as_ref().expect("summary built");
+                // Kill registers defined on *every* path.
+                for r in must {
+                    scratch.remove(r.index());
+                }
+                // All operand fetches happen at entry.
+                for r in uses {
+                    scratch.insert(r.index());
+                }
+                let entry = live_in[n.index()].as_mut().expect("node in order");
+                if *entry != scratch {
+                    std::mem::swap(entry, &mut scratch);
                     changed = true;
                 }
             }
         }
-        lv
-    }
-
-    /// live-in(n) = uses(n) ∪ (live-out(n) \ must-def(n)) computed from the
-    /// current neighbour sets.
-    fn local_live_in(&self, g: &Graph, n: NodeId) -> BitSet {
-        let mut li = BitSet::new(self.nreg);
-        // live-out: union of successors' live-in; exits contribute the
-        // program's observable registers.
-        for (_, succ) in g.node(n).tree.leaves() {
-            match succ {
-                Some(s) => {
-                    if let Some(set) = self.live_in.get(&s) {
-                        li.union_with(set);
-                    }
-                }
-                None => {
-                    for &r in &g.live_out {
-                        li.insert(r.index());
-                    }
-                }
-            }
-        }
-        // Kill registers defined on *every* path.
-        for r in self.must_defs(g, n) {
-            li.remove(r.index());
-        }
-        // All operand fetches happen at entry.
-        for (_, op) in g.node_ops(n) {
-            for r in g.op(op).reads() {
-                li.insert(r.index());
-            }
-        }
-        li
-    }
-
-    /// Registers written on every leaf path of `n`.
-    fn must_defs(&self, g: &Graph, n: NodeId) -> Vec<RegId> {
-        let tree = &g.node(n).tree;
-        let leaves = tree.leaves();
-        let mut acc: Option<Vec<RegId>> = None;
-        for (leaf, _) in leaves {
-            let mut defs = Vec::new();
-            tree.walk(&mut |p, t| {
-                if p.is_prefix_of(leaf) {
-                    for &o in t.ops() {
-                        if let Some(d) = g.op(o).dest {
-                            defs.push(d);
-                        }
-                    }
-                }
-            });
-            acc = Some(match acc {
-                None => defs,
-                Some(prev) => prev.into_iter().filter(|d| defs.contains(d)).collect(),
-            });
-            if acc.as_ref().is_some_and(|a| a.is_empty()) {
-                break;
-            }
-        }
-        acc.unwrap_or_default()
+        Liveness { nreg, live_in }
     }
 
     /// Live-in set of `n` (empty for unknown nodes).
     pub fn live_in(&self, n: NodeId) -> Option<&BitSet> {
-        self.live_in.get(&n)
+        self.live_in.get(n.index()).and_then(|s| s.as_ref())
     }
 
     /// True if `r` is live at entry of `n`.
     pub fn is_live_in(&self, n: NodeId, r: RegId) -> bool {
-        self.live_in.get(&n).is_some_and(|s| s.contains(r.index()))
+        self.live_in.get(n.index()).and_then(|s| s.as_ref()).is_some_and(|s| s.contains(r.index()))
     }
 
     /// Make room for registers allocated after `compute` (renaming).
     pub fn grow_regs(&mut self, nreg: usize) {
         if nreg > self.nreg {
             self.nreg = nreg;
-            for set in self.live_in.values_mut() {
+            for set in self.live_in.iter_mut().flatten() {
                 set.grow(nreg);
             }
         }
     }
 
+    fn entry_mut(&mut self, n: NodeId) -> &mut BitSet {
+        if self.live_in.len() <= n.index() {
+            self.live_in.resize_with(n.index() + 1, || None);
+        }
+        let nreg = self.nreg;
+        self.live_in[n.index()].get_or_insert_with(|| BitSet::new(nreg))
+    }
+
     /// Seed liveness for a node created after `compute` (a split copy) from
     /// the node it was cloned from.
     pub fn adopt(&mut self, new_node: NodeId, template: NodeId) {
-        let set = self.live_in.get(&template).cloned().unwrap_or_else(|| BitSet::new(self.nreg));
-        self.live_in.insert(new_node, set);
+        let set = self.live_in(template).cloned().unwrap_or_else(|| BitSet::new(self.nreg));
+        *self.entry_mut(new_node) = set;
     }
 
     /// Grow-only update: record that `r` is (possibly) live at entry of `n`
@@ -140,13 +155,14 @@ impl Liveness {
         self.grow_regs(g.reg_count());
         let mut stack = vec![n];
         while let Some(m) = stack.pop() {
-            let entry = self.live_in.entry(m).or_insert_with(|| BitSet::new(self.nreg));
-            entry.grow(self.nreg);
+            let nreg = self.nreg;
+            let entry = self.entry_mut(m);
+            entry.grow(nreg);
             if !entry.insert(r.index()) {
                 continue; // already known live here
             }
             for &p in preds.get(&m).map(|v| v.as_slice()).unwrap_or(&[]) {
-                if !self.must_defs(g, p).contains(&r) {
+                if !must_defs_of(g, p).contains(&r) {
                     stack.push(p);
                 }
             }
@@ -164,13 +180,13 @@ impl Liveness {
     pub fn write_live_conflict(&self, g: &Graph, from: NodeId, op: OpId, dest: RegId) -> bool {
         let tree = &g.node(from).tree;
         // Entry reads by other ops in the node.
-        for (_, o) in tree.placed_ops() {
+        for &(_, o) in g.node_ops(from) {
             if o != op && g.op(o).reads_reg(dest) {
                 return true;
             }
         }
         // Paths whose downstream still wants dest.
-        for (leaf, succ) in tree.leaves() {
+        for &(leaf, succ) in g.node_leaves(from) {
             let mut redefined = false;
             tree.walk(&mut |p, t| {
                 if p.is_prefix_of(leaf) {
@@ -200,11 +216,25 @@ impl Liveness {
     /// later node on any path through `pos`. Same-node ops see entry values
     /// and are therefore never readers of `op`'s result.
     pub fn dest_is_dead(&self, g: &Graph, n: NodeId, op: OpId, dest: RegId) -> bool {
+        if g.placement(op) != Some(n) {
+            return false;
+        }
+        let leaves = g.node_leaves(n);
+        // Leaf nodes (the overwhelmingly common VLIW row shape): every op
+        // commits on the single path, so liveness at the one successor
+        // decides — no tree walk needed.
+        if let [(_, succ)] = leaves {
+            let live = match succ {
+                Some(s) => self.is_live_in(*s, dest),
+                None => g.live_out.contains(&dest),
+            };
+            return !live;
+        }
         let tree = &g.node(n).tree;
         let Some(pos) = tree.position_of(op) else {
             return false;
         };
-        for (leaf, succ) in tree.leaves() {
+        for &(leaf, succ) in leaves {
             if !pos.is_prefix_of(leaf) {
                 continue; // op does not commit on this path
             }
@@ -218,6 +248,33 @@ impl Liveness {
         }
         true
     }
+}
+
+/// Registers written on every leaf path of `n`.
+fn must_defs_of(g: &Graph, n: NodeId) -> Vec<RegId> {
+    let tree = &g.node(n).tree;
+    let leaves = tree.leaves();
+    let mut acc: Option<Vec<RegId>> = None;
+    for (leaf, _) in leaves {
+        let mut defs = Vec::new();
+        tree.walk(&mut |p, t| {
+            if p.is_prefix_of(leaf) {
+                for &o in t.ops() {
+                    if let Some(d) = g.op(o).dest {
+                        defs.push(d);
+                    }
+                }
+            }
+        });
+        acc = Some(match acc {
+            None => defs,
+            Some(prev) => prev.into_iter().filter(|d| defs.contains(d)).collect(),
+        });
+        if acc.as_ref().is_some_and(|a| a.is_empty()) {
+            break;
+        }
+    }
+    acc.unwrap_or_default()
 }
 
 #[allow(unused_imports)]
@@ -312,7 +369,7 @@ mod tests {
         let mut unused_loc = None;
         let mut used_loc = None;
         for n in g.reachable() {
-            for (_, o) in g.node_ops(n) {
+            for &(_, o) in g.node_ops(n) {
                 if g.op(o).dest == Some(unused) {
                     unused_loc = Some((n, o));
                 }

@@ -81,7 +81,7 @@ impl Dominators {
         let preds: HashMap<NodeId, Vec<NodeId>> = {
             let mut m: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
             for &n in &order {
-                for s in g.unique_successors(n) {
+                for &s in g.unique_successors(n) {
                     if index.pos(s).is_some() {
                         m.entry(s).or_default().push(n);
                     }

@@ -68,7 +68,7 @@ impl<'a> Ctx<'a> {
     fn new(g: &'a Graph, desc: &'a MachineDesc) -> Ctx<'a> {
         let nodes = g.reachable();
         let row: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-        let placed = nodes.iter().map(|&n| g.node_ops(n)).collect();
+        let placed = nodes.iter().map(|&n| g.node_ops(n).to_vec()).collect();
         let leaves = nodes.iter().map(|&n| g.node(n).tree.leaves()).collect();
         let mut preds: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         for (n, list) in g.predecessors() {

@@ -126,12 +126,8 @@ pub fn break_rows(
         // Ops by descending priority; greedily keep what the template
         // admits (for a flat machine this is exactly "the first `fus`"),
         // the rest peels off.
-        let mut ops: Vec<OpId> = g
-            .node_ops(row)
-            .into_iter()
-            .map(|(_, o)| o)
-            .filter(|&o| !g.op(o).kind.is_cj())
-            .collect();
+        let mut ops: Vec<OpId> =
+            g.node_ops(row).iter().map(|&(_, o)| o).filter(|&o| !g.op(o).kind.is_cj()).collect();
         ranks.sort(g, &mut ops);
         let mut kept = 0usize;
         let mut kept_class = [0usize; FuClass::COUNT];

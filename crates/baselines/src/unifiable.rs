@@ -110,7 +110,8 @@ impl<'g, 'a> UnifiableSched<'g, 'a> {
                 if !self.g.node_exists(m) {
                     continue;
                 }
-                for (_, op) in self.g.node_ops(m) {
+                let mops: Vec<OpId> = self.g.node_ops(m).iter().map(|&(_, o)| o).collect();
+                for op in mops {
                     if rejected.contains(&op) {
                         continue;
                     }
@@ -151,7 +152,7 @@ impl<'g, 'a> UnifiableSched<'g, 'a> {
                 return Some(path);
             }
             let mp = self.pos.get(&m).copied()?;
-            for s in self.g.unique_successors(m) {
+            for &s in self.g.unique_successors(m) {
                 if self.pos.get(&s).is_some_and(|&sp| sp > mp) && !seen.contains(&s) {
                     parent.insert(s, m);
                     stack.push(s);

@@ -1,0 +1,201 @@
+//! Compare two `BENCH_machines.json` sweeps cell by cell and gate on
+//! regressions: the CI perf layer's semantic diff.
+//!
+//! The committed sweep is the baseline; a fresh sweep is the candidate.
+//! Every (machine × kernel) cell is held to:
+//!
+//! - **bit-identity fields**: `verified`, `audit_clean`,
+//!   `template_violations == 0` and `sched_stalls == 0` may never regress
+//!   from a passing baseline;
+//! - **schedule quality**: `sched_cycles` and `schedule_rows` may not
+//!   exceed the baseline (an optimization PR must not buy wall time with
+//!   cycles);
+//! - **bound soundness**: a candidate cell may not undercut its own
+//!   `bound_cycles` certificate.
+//!
+//! Wall-clock fields (`*_us`) are *reported* as per-stage deltas but not
+//! gated here — timing is machine-dependent; the budget gate
+//! (`machines --budget`) owns absolute ceilings.
+//!
+//! Usage: `bench-diff <baseline.json> <candidate.json>`
+//! Exits nonzero on any gate breach, printing a regression table.
+
+#![forbid(unsafe_code)]
+
+use grip_bench::json::Json;
+use std::collections::BTreeMap;
+
+/// The per-cell fields the diff consumes.
+#[derive(Clone, Debug)]
+struct Cell {
+    verified: bool,
+    audit_clean: bool,
+    template_violations: i64,
+    sched_stalls: i64,
+    sched_cycles: i64,
+    schedule_rows: i64,
+    bound_cycles: i64,
+    hazard_delay_rows: i64,
+    hazard_backfills: i64,
+    stage_us: BTreeMap<&'static str, f64>,
+}
+
+const STAGES: [&str; 7] =
+    ["prepare_us", "schedule_us", "hazards_us", "verify_us", "audit_us", "bounds_us", "wall_us"];
+
+fn load(path: &str) -> BTreeMap<(String, String), Cell> {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench-diff: cannot read {path}: {e}"));
+    let doc = Json::parse(&src).unwrap_or_else(|e| panic!("bench-diff: {path}: {e}"));
+    let cells = doc.get("cells").and_then(Json::as_arr).unwrap_or_else(|| {
+        panic!("bench-diff: {path}: no `cells` array — not a BENCH_machines.json?")
+    });
+    let mut out = BTreeMap::new();
+    for c in cells {
+        let s = |k: &str| c.get(k).and_then(Json::as_str).unwrap_or("").to_string();
+        let i = |k: &str| c.get(k).and_then(Json::as_i64).unwrap_or(0);
+        let b = |k: &str| c.get(k).and_then(Json::as_bool).unwrap_or(false);
+        let f = |k: &str| c.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        out.insert(
+            (s("machine"), s("kernel")),
+            Cell {
+                verified: b("verified"),
+                audit_clean: b("audit_clean"),
+                template_violations: i("template_violations"),
+                sched_stalls: i("sched_stalls"),
+                sched_cycles: i("sched_cycles"),
+                schedule_rows: i("schedule_rows"),
+                bound_cycles: i("bound_cycles"),
+                hazard_delay_rows: i("hazard_delay_rows"),
+                hazard_backfills: i("hazard_backfills"),
+                stage_us: STAGES.iter().map(|&k| (k, f(k))).collect(),
+            },
+        );
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, base_path, cand_path] = &args[..] else {
+        eprintln!("usage: bench-diff <baseline.json> <candidate.json>");
+        std::process::exit(2);
+    };
+    let base = load(base_path);
+    let cand = load(cand_path);
+
+    let mut regressions: Vec<String> = Vec::new();
+
+    for k in base.keys() {
+        if !cand.contains_key(k) {
+            regressions.push(format!("{}/{}: cell missing from candidate", k.0, k.1));
+        }
+    }
+    for k in cand.keys() {
+        if !base.contains_key(k) {
+            println!("note: {}/{} is new in the candidate (no baseline)", k.0, k.1);
+        }
+    }
+
+    // Per-stage totals (reported, not gated).
+    let mut tot_base: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut tot_cand: BTreeMap<&str, f64> = BTreeMap::new();
+
+    println!(
+        "{:<10} {:<6} {:>10} {:>10} {:>6} {:>6}  {:>12} {:>12} {:>7}",
+        "machine",
+        "loop",
+        "cyc base",
+        "cyc cand",
+        "rows b",
+        "rows c",
+        "sched_us b",
+        "sched_us c",
+        "ratio"
+    );
+    for (k, b) in &base {
+        let Some(c) = cand.get(k) else { continue };
+        let cell = format!("{}/{}", k.0, k.1);
+        // Bit-identity gates: a passing baseline field may never regress.
+        if b.verified && !c.verified {
+            regressions.push(format!("{cell}: verified regressed (true -> false)"));
+        }
+        if b.audit_clean && !c.audit_clean {
+            regressions.push(format!("{cell}: audit_clean regressed (true -> false)"));
+        }
+        if b.template_violations == 0 && c.template_violations > 0 {
+            regressions
+                .push(format!("{cell}: {} template violations (was 0)", c.template_violations));
+        }
+        if b.sched_stalls == 0 && c.sched_stalls > 0 {
+            regressions.push(format!("{cell}: {} interlock stalls (was 0)", c.sched_stalls));
+        }
+        // Schedule quality gates.
+        if c.sched_cycles > b.sched_cycles {
+            regressions.push(format!(
+                "{cell}: sched_cycles regressed {} -> {}",
+                b.sched_cycles, c.sched_cycles
+            ));
+        }
+        if c.schedule_rows > b.schedule_rows {
+            regressions.push(format!(
+                "{cell}: schedule_rows regressed {} -> {}",
+                b.schedule_rows, c.schedule_rows
+            ));
+        }
+        // Bound soundness: the candidate may not undercut its own proof.
+        if c.schedule_rows < c.bound_cycles {
+            regressions.push(format!(
+                "{cell}: bound violation: {} rows below proven bound {}",
+                c.schedule_rows, c.bound_cycles
+            ));
+        }
+        for &s in &STAGES {
+            *tot_base.entry(s).or_default() += b.stage_us[s];
+            *tot_cand.entry(s).or_default() += c.stage_us[s];
+        }
+        let ratio = if c.stage_us["schedule_us"] > 0.0 {
+            b.stage_us["schedule_us"] / c.stage_us["schedule_us"]
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:<10} {:<6} {:>10} {:>10} {:>6} {:>6}  {:>12.0} {:>12.0} {:>6.1}x",
+            k.0,
+            k.1,
+            b.sched_cycles,
+            c.sched_cycles,
+            b.schedule_rows,
+            c.schedule_rows,
+            b.stage_us["schedule_us"],
+            c.stage_us["schedule_us"],
+            ratio,
+        );
+    }
+
+    println!("\nper-stage totals (baseline -> candidate):");
+    for &s in &STAGES {
+        let (tb, tc) = (tot_base.get(s).copied().unwrap_or(0.0), tot_cand[s]);
+        let ratio = if tc > 0.0 { tb / tc } else { f64::NAN };
+        println!("  {s:<12} {:>12.1} ms -> {:>12.1} ms   ({ratio:>6.1}x)", tb / 1e3, tc / 1e3);
+    }
+    let (db, dc) = (
+        base.values().map(|c| c.hazard_delay_rows).sum::<i64>(),
+        cand.values().map(|c| c.hazard_delay_rows).sum::<i64>(),
+    );
+    let (bb, bc) = (
+        base.values().map(|c| c.hazard_backfills).sum::<i64>(),
+        cand.values().map(|c| c.hazard_backfills).sum::<i64>(),
+    );
+    println!("  delay rows   {db} -> {dc}; backfills {bb} -> {bc}");
+
+    if regressions.is_empty() {
+        println!("\nbench-diff: no regressions across {} cells.", base.len());
+    } else {
+        println!("\nREGRESSIONS:");
+        for r in &regressions {
+            println!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}

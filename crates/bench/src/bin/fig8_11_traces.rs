@@ -42,7 +42,7 @@ fn moveable(g: &Graph, order: &[NodeId], n: NodeId) -> Vec<OpId> {
     order[pos + 1..]
         .iter()
         .filter(|&&m| g.node_exists(m))
-        .flat_map(|&m| g.node_ops(m).into_iter().map(|(_, o)| o))
+        .flat_map(|&m| g.node_ops(m).iter().map(|&(_, o)| o))
         .collect()
 }
 
@@ -52,7 +52,7 @@ fn unifiable(g: &Graph, order: &[NodeId], n: NodeId) -> Vec<OpId> {
     let pos = order.iter().position(|&m| m == n).unwrap();
     let mut out = Vec::new();
     for (i, &m) in order.iter().enumerate().skip(pos + 1) {
-        for (_, op) in g.node_ops(m) {
+        for &(_, op) in g.node_ops(m) {
             let blocked = order[pos + 1..i].iter().any(|&between| {
                 g.node_ops(between).iter().any(|&(_, w)| {
                     g.op(w).dest.is_some_and(|d| g.op(op).reads_reg(d))

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod examples;
+pub mod golden;
 pub mod machines;
 
 /// JSON serialization, re-exported from [`grip_json`] (the writer lived

@@ -267,7 +267,7 @@ pub fn analyze(g: &Graph, steady: &[NodeId], ddg: &Ddg, desc: &MachineDesc) -> B
     let mut slots: Vec<SlotOp> = Vec::new();
     let mut counts = OpCounts::default();
     for (row, &n) in steady.iter().filter(|&&n| g.node_exists(n)).enumerate() {
-        for (_, op) in g.node_ops(n) {
+        for &(_, op) in g.node_ops(n) {
             counts.add(g.op(op).kind);
             slots.push(SlotOp { op, row });
         }

@@ -19,7 +19,7 @@ use grip_percolate::{
     apply_move_cj, apply_move_op, plan_move_cj, plan_move_op, propagate_copies, remove_if_dead,
     try_delete_empty, Ctx, MoveFail,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// When may an operation move *speculatively* (past a conditional it was
 /// guarded by)?
@@ -186,6 +186,68 @@ enum StuckReason {
     NoPath,
 }
 
+/// Reusable epoch-stamped visited set: `visit` marks-and-tests without
+/// ever clearing the backing array (bumping the epoch invalidates all
+/// marks in O(1)), so the DFS helpers allocate nothing per call.
+#[derive(Default)]
+struct VisitScratch {
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl VisitScratch {
+    fn begin(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// True when `n` was not yet visited in epoch `e` (and marks it).
+    fn visit(&mut self, e: u64, n: NodeId) -> bool {
+        let i = n.index();
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+        }
+        if self.stamp[i] == e {
+            false
+        } else {
+            self.stamp[i] = e;
+            true
+        }
+    }
+}
+
+/// Dense region-position map (`NodeId` → region index), replacing a
+/// `HashMap` in the hottest scans. Rebuilt on every region edit.
+struct PosMap {
+    idx: Vec<u32>,
+}
+
+impl PosMap {
+    const NONE: u32 = u32::MAX;
+
+    fn build(region: &[NodeId]) -> PosMap {
+        let bound = region.iter().map(|n| n.index() + 1).max().unwrap_or(0);
+        let mut idx = vec![PosMap::NONE; bound];
+        for (i, &n) in region.iter().enumerate() {
+            idx[n.index()] = i as u32;
+        }
+        PosMap { idx }
+    }
+
+    #[inline]
+    fn get(&self, n: NodeId) -> Option<usize> {
+        match self.idx.get(n.index()) {
+            Some(&i) if i != PosMap::NONE => Some(i as usize),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, n: NodeId) -> bool {
+        self.get(n).is_some()
+    }
+}
+
 /// The GRiP scheduling engine for one region (an unwound loop window or a
 /// whole acyclic program fragment), in top-down order.
 pub struct Grip<'g, 'a> {
@@ -194,12 +256,43 @@ pub struct Grip<'g, 'a> {
     ranks: &'g RankTable,
     cfg: GripConfig,
     region: Vec<NodeId>,
-    pos: HashMap<NodeId, usize>,
-    suspended: HashMap<OpId, ()>,
+    pos: PosMap,
+    /// Suspended ops (gap-prevention rule 1), insertion-ordered. The set
+    /// stays tiny, so a vector beats any hashed container here.
+    suspended: Vec<OpId>,
     /// Sequential rows directly above the region top, nearest first — the
     /// part of the latency-hazard scan window that lies outside the
     /// region (empty on unit-latency machines).
     above_region: Vec<NodeId>,
+    /// Memoized per-op priorities: an op's rank inputs (`orig`, `iter`,
+    /// the prebuilt chain metrics) are fixed at creation, so the priority
+    /// is computed once per op instead of once per candidate scan.
+    prio: Vec<Option<grip_analysis::Priority>>,
+    /// Epoch-stamped skip sets for [`Grip::schedule_node`] (dependence /
+    /// resource freezes), replacing per-node `HashSet` churn.
+    dep_skip: Vec<u64>,
+    res_skip: Vec<u64>,
+    dep_epoch: u64,
+    res_epoch: u64,
+    /// DFS scratch for gap prevention and the parent search.
+    gap_seen: VisitScratch,
+    below_seen: VisitScratch,
+    pt_seen: VisitScratch,
+    /// `parent_toward` results, valid while the edge structure is
+    /// unchanged (op hops between existing rows don't invalidate it).
+    pt_stamp: Vec<u64>,
+    pt_val: Vec<Option<(NodeId, TreePath)>>,
+    pt_gen: u64,
+    pt_key: Option<(NodeId, u64)>,
+    /// Priority-sorted candidate list for [`Grip::pick_candidate`],
+    /// rebuilt once per skip-set epoch (any hop, split, or deletion bumps
+    /// an epoch, so region membership and placements are frozen while the
+    /// list is live; stale entries are skipped lazily).
+    cand: Vec<(grip_analysis::Priority, OpId)>,
+    cand_key: (u64, u64),
+    /// Lowest region index the dead-op sweep has covered this epoch (a
+    /// falling suspension floor re-exposes rows that must be re-swept).
+    dead_start: usize,
     stats: ScheduleStats,
     trace: Vec<TraceEvent>,
 }
@@ -214,7 +307,7 @@ impl<'g, 'a> Grip<'g, 'a> {
         cfg: GripConfig,
         region: Vec<NodeId>,
     ) -> Self {
-        let pos: HashMap<NodeId, usize> = region.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos = PosMap::build(&region);
         let above_region = Grip::prefix_chain(g, &region, &pos, &cfg);
         Grip {
             g,
@@ -223,8 +316,23 @@ impl<'g, 'a> Grip<'g, 'a> {
             cfg,
             region,
             pos,
-            suspended: HashMap::new(),
+            suspended: Vec::new(),
             above_region,
+            prio: Vec::new(),
+            dep_skip: Vec::new(),
+            res_skip: Vec::new(),
+            dep_epoch: 0,
+            res_epoch: 0,
+            gap_seen: VisitScratch::default(),
+            below_seen: VisitScratch::default(),
+            pt_seen: VisitScratch::default(),
+            pt_stamp: Vec::new(),
+            pt_val: Vec::new(),
+            pt_gen: 0,
+            pt_key: None,
+            cand: Vec::new(),
+            cand_key: (0, 0),
+            dead_start: usize::MAX,
             stats: ScheduleStats::default(),
             trace: Vec::new(),
         }
@@ -235,12 +343,7 @@ impl<'g, 'a> Grip<'g, 'a> {
     /// inside the region are ignored; a multi-predecessor join stops the
     /// chain conservatively. Nodes above the region are never edited by
     /// the scheduler, so the chain is computed once.
-    fn prefix_chain(
-        g: &Graph,
-        region: &[NodeId],
-        pos: &HashMap<NodeId, usize>,
-        cfg: &GripConfig,
-    ) -> Vec<NodeId> {
+    fn prefix_chain(g: &Graph, region: &[NodeId], pos: &PosMap, cfg: &GripConfig) -> Vec<NodeId> {
         let depth = (cfg.resources.desc().max_latency() as usize).saturating_sub(1);
         let Some(&top) = region.first() else { return Vec::new() };
         if depth == 0 {
@@ -254,10 +357,7 @@ impl<'g, 'a> Grip<'g, 'a> {
             let above: Vec<NodeId> = preds
                 .get(&cur)
                 .map(|ps| {
-                    ps.iter()
-                        .copied()
-                        .filter(|p| !pos.contains_key(p) && !seen.contains(p))
-                        .collect()
+                    ps.iter().copied().filter(|&p| !pos.contains(p) && !seen.contains(&p)).collect()
                 })
                 .unwrap_or_default();
             let [only] = above[..] else { break };
@@ -312,7 +412,7 @@ impl<'g, 'a> Grip<'g, 'a> {
                 self.ctx.refresh(self.g);
             }
             self.cleanup_empty_below(i);
-            i = self.pos.get(&n).map(|&p| p + 1).unwrap_or(i);
+            i = self.pos.get(n).map(|p| p + 1).unwrap_or(i);
         }
         // Hazard-resolution post-pass: upgrade the best-effort latency
         // guard to a hard invariant — after this, the schedule is
@@ -340,7 +440,7 @@ impl<'g, 'a> Grip<'g, 'a> {
             self.region[from..].iter().copied().filter(|&n| self.g.node_exists(n)).collect();
         let mut counts = grip_bounds::OpCounts::default();
         for &n in &live {
-            for (_, op) in self.g.node_ops(n) {
+            for &(_, op) in self.g.node_ops(n) {
                 counts.add(self.g.op(op).kind);
             }
         }
@@ -361,14 +461,16 @@ impl<'g, 'a> Grip<'g, 'a> {
     fn schedule_node(&mut self, n: NodeId) {
         // Ops that failed for dependence reasons are frozen for this node;
         // resource-blocked ops are retried after any successful move.
-        let mut dep_skip: HashSet<OpId> = HashSet::new();
-        let mut res_skip: HashSet<OpId> = HashSet::new();
+        // Both sets are epoch stamps into reusable arrays (bumping the
+        // epoch empties a set in O(1)).
+        self.dep_epoch += 1;
+        self.res_epoch += 1;
         loop {
             if self.cfg.resources.exhausted(self.g, n) {
                 break;
             }
             self.stats.picks += 1;
-            let Some(op) = self.pick_candidate(n, &dep_skip, &res_skip) else { break };
+            let Some(op) = self.pick_candidate(n) else { break };
             let hops_before = self.stats.hops;
             let mut suspended_now = false;
             match self.migrate(n, op) {
@@ -382,13 +484,13 @@ impl<'g, 'a> Grip<'g, 'a> {
                 Migrated::Partial => {
                     self.after_successful_move();
                     // It moved but cannot reach n (for now): freeze for n.
-                    dep_skip.insert(op);
+                    mark(&mut self.dep_skip, self.dep_epoch, op);
                 }
                 Migrated::Stuck(StuckReason::Resources) => {
-                    res_skip.insert(op);
+                    mark(&mut self.res_skip, self.res_epoch, op);
                 }
                 Migrated::Stuck(_) => {
-                    dep_skip.insert(op);
+                    mark(&mut self.dep_skip, self.dep_epoch, op);
                 }
                 Migrated::Suspended => {
                     // Rule 1: wait until the test can pass again.
@@ -398,65 +500,114 @@ impl<'g, 'a> Grip<'g, 'a> {
             // Any successful motion changes the resource picture: retry
             // resource-blocked ops.
             if self.stats.hops > hops_before {
-                res_skip.clear();
+                self.res_epoch += 1;
             }
             // Deadlock guard: a suspension with no other moveable op below
             // would spin — treat the op as frozen for this node.
-            if suspended_now && self.pick_candidate(n, &dep_skip, &res_skip).is_none() {
-                self.suspended.remove(&op);
-                dep_skip.insert(op);
+            if suspended_now && self.pick_candidate(n).is_none() {
+                self.suspended.retain(|&o| o != op);
+                mark(&mut self.dep_skip, self.dep_epoch, op);
             }
         }
     }
 
     /// Highest-priority op placed strictly below `n` in the region,
     /// honouring suspension rule 3 and the skip sets.
-    fn pick_candidate(
-        &mut self,
-        n: NodeId,
-        dep_skip: &HashSet<OpId>,
-        res_skip: &HashSet<OpId>,
-    ) -> Option<OpId> {
-        let npos = self.pos[&n];
+    ///
+    /// The candidate list is sorted by priority once per skip-set epoch
+    /// and scanned for the first still-valid entry. Any structural change
+    /// (a hop, split, rename, or deletion) bumps an epoch before the next
+    /// pick, so placements, region order and liveness are frozen while the
+    /// list is live — the sorted walk returns exactly the op a full region
+    /// rescan would have chosen (stable sort: priority ties keep the
+    /// region scan order the rescan used).
+    fn pick_candidate(&mut self, n: NodeId) -> Option<OpId> {
+        let npos = self.pos.get(n).expect("scheduled node is in the region");
         // Rule 3: with pending suspensions only ops strictly below the
         // lowest (deepest) suspended op may move.
         let floor = if self.suspended.is_empty() {
             npos
         } else {
             self.suspended
-                .keys()
+                .iter()
                 .filter_map(|&o| self.g.placement(o))
-                .filter_map(|m| self.pos.get(&m).copied())
+                .filter_map(|m| self.pos.get(m))
                 .max()
                 .unwrap_or(npos)
         };
-        let mut best: Option<(grip_analysis::Priority, OpId)> = None;
+        let start = floor.max(npos) + 1;
+        if self.cand_key != (self.dep_epoch, self.res_epoch) {
+            // New epoch: sweep dead ops below the floor (the rescan used
+            // to fold this into candidate scanning), then rebuild the
+            // sorted list over every surviving op below `n`.
+            self.cand_key = (self.dep_epoch, self.res_epoch);
+            self.sweep_dead(start, self.region.len());
+            self.dead_start = start;
+            self.cand.clear();
+            for idx in (npos + 1)..self.region.len() {
+                let m = self.region[idx];
+                if !self.g.node_exists(m) {
+                    continue;
+                }
+                for &(_, op) in self.g.node_ops(m) {
+                    let p = prio_of(&mut self.prio, self.ranks, self.g, op);
+                    self.cand.push((p, op));
+                }
+            }
+            self.cand.sort_by_key(|&(p, _)| p);
+        } else if start < self.dead_start {
+            // The suspension floor dropped without a structural change
+            // (deadlock-guard unsuspension): rows between the new and old
+            // floors are candidates again and get their deferred sweep.
+            self.sweep_dead(start, self.dead_start);
+            self.dead_start = start;
+        }
+        for &(_, op) in &self.cand {
+            if is_marked(&self.dep_skip, self.dep_epoch, op)
+                || is_marked(&self.res_skip, self.res_epoch, op)
+                || (!self.suspended.is_empty() && self.suspended.contains(&op))
+            {
+                continue;
+            }
+            // Stale entries: removed ops have no placement; the floor
+            // filter applies to the op's (frozen) current row.
+            let Some(m) = self.g.placement(op) else { continue };
+            let Some(mp) = self.pos.get(m) else { continue };
+            if mp < start {
+                continue;
+            }
+            return Some(op);
+        }
+        None
+    }
+
+    /// Remove dead pure ops in region rows `start..end`, in region order —
+    /// the incremental-DCE half of the old candidate rescan. Skips marked
+    /// and suspended ops exactly as the rescan did (they were never
+    /// dead-checked while frozen).
+    fn sweep_dead(&mut self, start: usize, end: usize) {
+        if !self.cfg.dce {
+            return;
+        }
         let mut dead: Vec<(NodeId, OpId)> = Vec::new();
-        for idx in (floor.max(npos) + 1)..self.region.len() {
+        for idx in start..end.min(self.region.len()) {
             let m = self.region[idx];
             if !self.g.node_exists(m) {
                 continue;
             }
-            for (_, op) in self.g.node_ops(m) {
-                if dep_skip.contains(&op)
-                    || res_skip.contains(&op)
-                    || self.suspended.contains_key(&op)
+            for &(_, op) in self.g.node_ops(m) {
+                if is_marked(&self.dep_skip, self.dep_epoch, op)
+                    || is_marked(&self.res_skip, self.res_epoch, op)
+                    || (!self.suspended.is_empty() && self.suspended.contains(&op))
                 {
                     continue;
                 }
-                if self.cfg.dce {
-                    let o = self.g.op(op);
-                    if o.dest.is_some()
-                        && !o.kind.is_cj()
-                        && self.ctx.lv.dest_is_dead(self.g, m, op, o.dest.expect("checked"))
-                    {
-                        dead.push((m, op));
-                        continue;
-                    }
-                }
-                let p = self.ranks.priority(self.g, op);
-                if best.map(|(bp, _)| p < bp).unwrap_or(true) {
-                    best = Some((p, op));
+                let o = self.g.op(op);
+                if o.dest.is_some()
+                    && !o.kind.is_cj()
+                    && self.ctx.lv.dest_is_dead(self.g, m, op, o.dest.expect("checked"))
+                {
+                    dead.push((m, op));
                 }
             }
         }
@@ -465,7 +616,6 @@ impl<'g, 'a> Grip<'g, 'a> {
                 self.stats.dce_removed += 1;
             }
         }
-        best.map(|(_, op)| op)
     }
 
     /// Migrate `op` toward `n` one instruction at a time (`migrate`, Figure
@@ -487,7 +637,7 @@ impl<'g, 'a> Grip<'g, 'a> {
             // No op leaves a node that holds a suspended op (nothing may
             // pass a suspended operation).
             if self.cfg.gap_prevention
-                && self.suspended.keys().any(|&s| s != op && self.g.placement(s) == Some(cur))
+                && self.suspended.iter().any(|&s| s != op && self.g.placement(s) == Some(cur))
             {
                 return if progressed {
                     Migrated::Partial
@@ -506,12 +656,12 @@ impl<'g, 'a> Grip<'g, 'a> {
             if self.cfg.gap_prevention && !self.suspended.is_empty() {
                 let deepest = self
                     .suspended
-                    .keys()
+                    .iter()
                     .filter_map(|&o| self.g.placement(o))
-                    .filter_map(|m| self.pos.get(&m).copied())
+                    .filter_map(|m| self.pos.get(m))
                     .max();
                 if let Some(dp) = deepest {
-                    if self.pos.get(&parent).copied().unwrap_or(usize::MAX) < dp {
+                    if self.pos.get(parent).unwrap_or(usize::MAX) < dp {
                         return if progressed {
                             Migrated::Partial
                         } else {
@@ -540,7 +690,9 @@ impl<'g, 'a> Grip<'g, 'a> {
             if self.cfg.gap_prevention && !self.gapless_move(cur, parent, op) {
                 self.stats.gap_rejections += 1;
                 self.stats.suspensions += 1;
-                self.suspended.insert(op, ());
+                if !self.suspended.contains(&op) {
+                    self.suspended.push(op);
+                }
                 if self.cfg.trace {
                     self.trace.push(TraceEvent::Suspend { op, at: cur });
                 }
@@ -667,7 +819,7 @@ impl<'g, 'a> Grip<'g, 'a> {
         if lmax <= 1 {
             return false;
         }
-        let Some(&ridx) = self.pos.get(&row) else { return false };
+        let Some(ridx) = self.pos.get(row) else { return false };
         let mut unresolved: Vec<grip_ir::RegId> = self.g.op(op).reads().collect();
         if unresolved.is_empty() {
             return false;
@@ -682,7 +834,7 @@ impl<'g, 'a> Grip<'g, 'a> {
             if d >= lmax {
                 return false; // every remaining producer has retired
             }
-            for (_, w) in self.g.node_ops(above) {
+            for &(_, w) in self.g.node_ops(above) {
                 let wo = self.g.op(w);
                 let Some(dst) = wo.dest else { continue };
                 let before = unresolved.len();
@@ -704,13 +856,25 @@ impl<'g, 'a> Grip<'g, 'a> {
 
     /// The Gapless-move test (§3.3): may `op` leave `from` (for the node
     /// above) without ever creating a permanent gap?
-    fn gapless_move(&self, from: NodeId, _to: NodeId, op: OpId) -> bool {
-        let mut visited = HashSet::new();
-        self.gapless_rec(from, op, &mut visited)
+    fn gapless_move(&mut self, from: NodeId, _to: NodeId, op: OpId) -> bool {
+        let mut visited = std::mem::take(&mut self.gap_seen);
+        let mut below = std::mem::take(&mut self.below_seen);
+        let epoch = visited.begin();
+        let ok = self.gapless_rec(from, op, &mut visited, epoch, &mut below);
+        self.gap_seen = visited;
+        self.below_seen = below;
+        ok
     }
 
-    fn gapless_rec(&self, from: NodeId, op: OpId, visited: &mut HashSet<NodeId>) -> bool {
-        if !visited.insert(from) {
+    fn gapless_rec(
+        &self,
+        from: NodeId,
+        op: OpId,
+        visited: &mut VisitScratch,
+        epoch: u64,
+        below: &mut VisitScratch,
+    ) -> bool {
+        if !visited.visit(epoch, from) {
             return false;
         }
         let ops = self.g.node_ops(from);
@@ -725,7 +889,7 @@ impl<'g, 'a> Grip<'g, 'a> {
         }
         // Condition 3: no same-iteration op below `from` — op is the last of
         // its iteration, nothing to gap against.
-        if !self.iteration_below(from, it) {
+        if !self.iteration_below(from, it, below) {
             return true;
         }
         // Condition 4: some same-iteration op X in a successor S could move
@@ -734,7 +898,7 @@ impl<'g, 'a> Grip<'g, 'a> {
         // induction).
         for s in self.region_successors(from) {
             let paths = self.g.node(from).tree.leaf_paths_to(s);
-            for (_, x) in self.g.node_ops(s) {
+            for &(_, x) in self.g.node_ops(s) {
                 if x == op || self.g.op(x).iter != it {
                     continue;
                 }
@@ -744,7 +908,7 @@ impl<'g, 'a> Grip<'g, 'a> {
                     } else {
                         plan_move_op(self.g, self.ctx, s, from, x, p, Some(op)).is_ok()
                     };
-                    if plan_ok && self.gapless_rec(s, x, visited) {
+                    if plan_ok && self.gapless_rec(s, x, visited, epoch, below) {
                         return true;
                     }
                 }
@@ -755,17 +919,22 @@ impl<'g, 'a> Grip<'g, 'a> {
 
     /// Does any node strictly below `from` (region successors, transitive)
     /// hold an op of iteration `it`?
-    fn iteration_below(&self, from: NodeId, it: u32) -> bool {
+    fn iteration_below(&self, from: NodeId, it: u32, seen: &mut VisitScratch) -> bool {
+        let epoch = seen.begin();
         let mut stack: Vec<NodeId> = self.region_successors(from);
-        let mut seen: HashSet<NodeId> = HashSet::new();
         while let Some(m) = stack.pop() {
-            if !seen.insert(m) {
+            if !seen.visit(epoch, m) {
                 continue;
             }
             if self.g.node_ops(m).iter().any(|&(_, o)| self.g.op(o).iter == it) {
                 return true;
             }
-            stack.extend(self.region_successors(m));
+            let mp = self.pos.get(m).expect("stack members are region rows");
+            for &s in self.g.unique_successors(m) {
+                if self.pos.get(s).is_some_and(|sp| sp > mp) {
+                    stack.push(s);
+                }
+            }
         }
         false
     }
@@ -777,28 +946,55 @@ impl<'g, 'a> Grip<'g, 'a> {
     /// Successors of `m` inside the region, forward edges only (the back
     /// edge from the window latch to its head is ignored).
     fn region_successors(&self, m: NodeId) -> Vec<NodeId> {
-        let mp = match self.pos.get(&m) {
-            Some(&p) => p,
+        let mp = match self.pos.get(m) {
+            Some(p) => p,
             None => return Vec::new(),
         };
         self.g
             .unique_successors(m)
-            .into_iter()
-            .filter(|s| self.pos.get(s).is_some_and(|&sp| sp > mp))
+            .iter()
+            .copied()
+            .filter(|&s| self.pos.get(s).is_some_and(|sp| sp > mp))
             .collect()
     }
 
     /// The last edge of some forward path `n -> ... -> cur` (DFS), i.e. the
     /// node to hop `op` into next, with the leaf path reaching `cur`.
-    fn parent_toward(&self, n: NodeId, cur: NodeId) -> Option<(NodeId, TreePath)> {
+    ///
+    /// Results are memoized while the edge structure is unchanged: op hops
+    /// between existing rows leave both the CFG and the region membership
+    /// alone (splits and deletions bump [`Graph::edge_version`], which
+    /// drops the whole cache), so repeated migrations along the same
+    /// corridor pay the DFS once.
+    fn parent_toward(&mut self, n: NodeId, cur: NodeId) -> Option<(NodeId, TreePath)> {
+        let ev = self.g.edge_version();
+        if self.pt_key != Some((n, ev)) {
+            self.pt_key = Some((n, ev));
+            self.pt_gen += 1;
+        }
+        let i = cur.index();
+        if self.pt_stamp.get(i) == Some(&self.pt_gen) {
+            return self.pt_val[i];
+        }
+        let found = self.parent_toward_dfs(n, cur);
+        if i >= self.pt_stamp.len() {
+            self.pt_stamp.resize(i + 1, 0);
+            self.pt_val.resize(i + 1, None);
+        }
+        self.pt_stamp[i] = self.pt_gen;
+        self.pt_val[i] = found;
+        found
+    }
+
+    fn parent_toward_dfs(&mut self, n: NodeId, cur: NodeId) -> Option<(NodeId, TreePath)> {
         if !self.g.node_exists(n) {
             return None;
         }
         // DFS from n; find any node whose successor set contains cur.
+        let epoch = self.pt_seen.begin();
         let mut stack = vec![n];
-        let mut seen = HashSet::new();
         while let Some(m) = stack.pop() {
-            if !seen.insert(m) {
+            if !self.pt_seen.visit(epoch, m) {
                 continue;
             }
             let succs = self.region_successors(m);
@@ -827,10 +1023,10 @@ impl<'g, 'a> Grip<'g, 'a> {
     }
 
     fn insert_region_after(&mut self, anchor: NodeId, new_node: NodeId) {
-        if self.pos.contains_key(&new_node) {
+        if self.pos.contains(new_node) {
             return;
         }
-        let at = self.pos.get(&anchor).map(|&p| p + 1).unwrap_or(self.region.len());
+        let at = self.pos.get(anchor).map(|p| p + 1).unwrap_or(self.region.len());
         self.region.insert(at.min(self.region.len()), new_node);
         self.reindex();
     }
@@ -841,7 +1037,7 @@ impl<'g, 'a> Grip<'g, 'a> {
     }
 
     fn reindex(&mut self) {
-        self.pos = self.region.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        self.pos = PosMap::build(&self.region);
     }
 
     /// May the empty row `n` be deleted without re-shrinking a
@@ -864,8 +1060,7 @@ impl<'g, 'a> Grip<'g, 'a> {
         if self.g.node_exists(n)
             && self.g.node(n).tree.is_empty()
             && n != self.g.entry
-            && self.pos.contains_key(&n)
-            && self.pos[&n] != 0
+            && self.pos.get(n).is_some_and(|p| p != 0)
             && self.deletion_is_hazard_safe(n)
             && try_delete_empty(self.g, self.ctx, n)
         {
@@ -884,7 +1079,7 @@ impl<'g, 'a> Grip<'g, 'a> {
                 if !self.g.node_exists(n) {
                     continue;
                 }
-                let ops: Vec<OpId> = self.g.node_ops(n).into_iter().map(|(_, o)| o).collect();
+                let ops: Vec<OpId> = self.g.node_ops(n).iter().map(|&(_, o)| o).collect();
                 for op in ops {
                     if remove_if_dead(self.g, self.ctx, n, op) {
                         removed += 1;
@@ -916,6 +1111,41 @@ impl<'g, 'a> Grip<'g, 'a> {
             i += 1;
         }
     }
+}
+
+/// Mark `op` in an epoch-stamped set.
+fn mark(set: &mut Vec<u64>, epoch: u64, op: OpId) {
+    let i = op.index();
+    if i >= set.len() {
+        set.resize(i + 1, 0);
+    }
+    set[i] = epoch;
+}
+
+/// Membership test against an epoch-stamped set.
+fn is_marked(set: &[u64], epoch: u64, op: OpId) -> bool {
+    set.get(op.index()).is_some_and(|&s| s == epoch)
+}
+
+/// Memoized [`RankTable::priority`]: an op's rank inputs are fixed at its
+/// creation (the chain metrics are prebuilt, `orig`/`iter` never change on
+/// a placed op), so each op pays the table lookup exactly once per run.
+fn prio_of(
+    cache: &mut Vec<Option<grip_analysis::Priority>>,
+    ranks: &RankTable,
+    g: &Graph,
+    op: OpId,
+) -> grip_analysis::Priority {
+    let i = op.index();
+    if i >= cache.len() {
+        cache.resize(i + 1, None);
+    }
+    if let Some(p) = cache[i] {
+        return p;
+    }
+    let p = ranks.priority(g, op);
+    cache[i] = Some(p);
+    p
 }
 
 /// Fold one run's [`ScheduleStats`] into the process-wide metrics

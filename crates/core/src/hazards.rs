@@ -39,7 +39,7 @@
 //! immediately and the schedule is untouched, so the paper's flat model
 //! pays nothing.
 
-use grip_ir::{Graph, NodeId, OpId, RegId, Tree};
+use grip_ir::{Graph, NodeId, OpId, RegId, Tree, TreePath};
 use grip_machine::MachineDesc;
 use grip_percolate::{apply_move_op, plan_move_op, try_delete_empty_if, Ctx};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -56,6 +56,9 @@ pub struct HazardStats {
     pub delay_rows: u64,
     /// Ready operations pulled up from below into open slots.
     pub backfilled: u64,
+    /// Subset of `backfilled` that climbed more than one row (multi-hop
+    /// moves past resource barriers, see [`resolve_hazards`]).
+    pub multihop: u64,
     /// Rows emptied by backfill and deleted (cycles reclaimed).
     pub reclaimed_rows: u64,
 }
@@ -68,7 +71,7 @@ pub struct HazardStats {
 fn reachable_preds(g: &Graph, nodes: &[NodeId]) -> HashMap<NodeId, Vec<NodeId>> {
     let mut preds: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
     for &n in nodes {
-        for s in g.unique_successors(n) {
+        for &s in g.unique_successors(n) {
             preds.entry(s).or_default().push(n);
         }
     }
@@ -142,7 +145,7 @@ fn analyze(
         let out = transfer(g, desc, n, &input);
         if outs.get(&n) != Some(&out) {
             outs.insert(n, out);
-            for s in g.unique_successors(n) {
+            for &s in g.unique_successors(n) {
                 if queued.insert(s) {
                     queue.push_back(s);
                 }
@@ -156,7 +159,7 @@ fn analyze(
 /// included — the scoreboard waits on them too).
 fn node_reads(g: &Graph, n: NodeId) -> HashSet<RegId> {
     let mut reads = HashSet::new();
-    for (_, op) in g.node_ops(n) {
+    for &(_, op) in g.node_ops(n) {
         reads.extend(g.op(op).reads());
     }
     reads
@@ -317,7 +320,7 @@ pub fn delete_would_create_hazard(
             if !g.node_exists(m) || !seen_up.insert((m, a)) {
                 continue;
             }
-            for (_, o) in g.node_ops(m) {
+            for &(_, o) in g.node_ops(m) {
                 let op = g.op(o);
                 if let Some(d) = op.dest {
                     let l = desc.latency_of(op.kind);
@@ -339,7 +342,7 @@ pub fn delete_would_create_hazard(
     let cmax = hot.values().copied().max().unwrap_or(0);
     // Downward sweep: a read of a hot register within its residual
     // countdown would land too close once n stops issuing.
-    let mut level: Vec<NodeId> = g.unique_successors(n);
+    let mut level: Vec<NodeId> = g.unique_successors(n).to_vec();
     let mut seen_dn: HashSet<(NodeId, u32)> = HashSet::new();
     for b in 1..=cmax {
         let mut next = Vec::new();
@@ -347,7 +350,7 @@ pub fn delete_would_create_hazard(
             if !g.node_exists(m) || !seen_dn.insert((m, b)) {
                 continue;
             }
-            for (_, o) in g.node_ops(m) {
+            for &(_, o) in g.node_ops(m) {
                 for r in g.op(o).reads() {
                     if hot.get(&r).copied().unwrap_or(0) >= b {
                         return true;
@@ -407,9 +410,9 @@ fn backfill(
             let in_u = merged_input(&outs, preds.get(&u).map(Vec::as_slice).unwrap_or(&[]));
             let ops: Vec<OpId> = g
                 .node_ops(v)
-                .into_iter()
-                .filter(|&(_, o)| !g.op(o).kind.is_cj())
-                .map(|(_, o)| o)
+                .iter()
+                .filter(|&&(_, o)| !g.op(o).kind.is_cj())
+                .map(|&(_, o)| o)
                 .collect();
             for op in ops {
                 if !desc.has_room(g, u, op) {
@@ -471,9 +474,222 @@ fn backfill(
             ctx.refresh(g);
         }
         if !changed {
+            // One-step fixpoint: nothing moved or deleted this pass, so
+            // `preds_now` still matches the graph. Ready work deeper down
+            // may yet reach open slots past rows the adjacent sweep cannot
+            // land in (§3.2 resource barriers) — try multi-hop climbs.
+            changed = multihop_sweep(g, ctx, desc, region, &preds_now, stats);
+        }
+        if !changed {
             break;
         }
     }
+}
+
+/// Multi-hop climb sweep, run only at the one-step fixpoint: a ready op
+/// deeper in a straight-line chain can pass *through* full (or hot)
+/// intermediate rows on its way to an open slot — a transit never rests,
+/// so only the landing row's template and producer distances matter. The
+/// 16-cycle corridors of deep-latency machines are the motivating case:
+/// the row directly beneath a delay row runs out of movable ops long
+/// before the padding is full, while ready work three and four rows down
+/// is walled off behind full compute rows.
+///
+/// Every hop of a climb is validated by [`climb_clear`] before the first
+/// edit, so a started climb always reaches its landing row; landings are
+/// re-checked against the *current* graph by [`landing_too_hot`] (the
+/// pass-start countdown snapshot goes stale as climbed producers move),
+/// so a climb never plants a hazard for the closing pad round to re-pay.
+/// Rows therefore only ever empty and shrink, never re-pad: the schedule
+/// cannot get longer.
+fn multihop_sweep(
+    g: &mut Graph,
+    ctx: &mut Ctx<'_>,
+    desc: &MachineDesc,
+    region: &[NodeId],
+    preds: &HashMap<NodeId, Vec<NodeId>>,
+    stats: &mut HazardStats,
+) -> bool {
+    let mut changed = false;
+    let live: Vec<NodeId> = region.iter().copied().filter(|&m| g.node_exists(m)).collect();
+    for i in 0..live.len() {
+        let u = live[i];
+        // The corridor: the maximal run of simple (single-leaf,
+        // single-entry, execution-adjacent) rows below u. Each element
+        // stores the leaf path of its predecessor targeting it — the
+        // `path` argument of the hop that leaves it.
+        let mut chain: Vec<(NodeId, TreePath)> = Vec::new();
+        let mut prev = u;
+        for &v in live.iter().skip(i + 1) {
+            let vpreds = preds.get(&v).map(Vec::as_slice).unwrap_or(&[]);
+            let entry_edges: usize =
+                vpreds.iter().map(|&q| g.node(q).tree.leaf_paths_to(v).len()).sum();
+            if entry_edges != 1 || !vpreds.contains(&prev) {
+                break;
+            }
+            let Some(&path) = g.node(prev).tree.leaf_paths_to(v).first() else { break };
+            if !matches!(g.node(v).tree, Tree::Leaf { .. }) {
+                break;
+            }
+            chain.push((v, path));
+            prev = v;
+        }
+        // chain[0] is execution-adjacent to u — the one-step sweep already
+        // exhausted it. Sources start two rows down.
+        for k in 1..chain.len() {
+            let w = chain[k].0;
+            let ops: Vec<OpId> = g
+                .node_ops(w)
+                .iter()
+                .filter(|&&(_, o)| !g.op(o).kind.is_cj())
+                .map(|&(_, o)| o)
+                .collect();
+            for op in ops {
+                if !desc.has_room(g, u, op)
+                    || !climb_clear(g, ctx, u, &chain, k, op)
+                    || landing_too_hot(g, preds, desc, u, op)
+                {
+                    continue;
+                }
+                // Apply the hops bottom-up; `climb_clear` proved each plan
+                // comes back plain.
+                for t in (0..=k).rev() {
+                    let from = chain[t].0;
+                    let to = if t == 0 { u } else { chain[t - 1].0 };
+                    let path = chain[t].1;
+                    let Ok(plan) = plan_move_op(g, ctx, from, to, op, path, None) else {
+                        debug_assert!(false, "prechecked climb hop must plan");
+                        break;
+                    };
+                    debug_assert!(
+                        plan.rewrites.is_empty() && !plan.needs_rename && !plan.speculative,
+                        "prechecked climb hop must be a plain move"
+                    );
+                    let out = apply_move_op(g, ctx, from, to, op, path, &plan);
+                    debug_assert!(out.split.is_none(), "single-entry rows never split");
+                    changed = true;
+                }
+                stats.backfilled += 1;
+                stats.multihop += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Would every hop of climbing `op` from `chain[k]` through
+/// `chain[k-1..=0]` into `u` plan as a plain move (no rename, no operand
+/// rewrite, non-speculative)? Mirrors [`plan_move_op`]'s conditions for
+/// root-placed ops moving between single-leaf single-entry rows; those
+/// conditions depend only on the contents of the rows along the corridor,
+/// which the climb itself never alters — so a `true` here guarantees
+/// every subsequent plan succeeds.
+fn climb_clear(
+    g: &Graph,
+    ctx: &Ctx<'_>,
+    u: NodeId,
+    chain: &[(NodeId, TreePath)],
+    k: usize,
+    op: OpId,
+) -> bool {
+    let o = g.op(op);
+    let reads: Vec<RegId> = o.reads().collect();
+    let dest = o.dest;
+    let is_mem = o.kind.is_mem();
+    let orig = o.orig;
+    for t in (0..=k).rev() {
+        let leaving = chain[t].0;
+        // Ops the hop lands among: for interior targets the whole
+        // single-leaf row; for the head row only the ops committing on the
+        // entry path — exactly the planner's path set.
+        let target_ops: Vec<OpId> = if t == 0 {
+            ops_committing_on(g, u, chain[0].1)
+        } else {
+            g.node_ops(chain[t - 1].0).iter().map(|&(_, p)| p).collect()
+        };
+        for &p in &target_ops {
+            let pr = g.op(p);
+            if is_mem && pr.kind.is_mem() && ctx.ddg.mem_dep(pr.orig, orig) {
+                return false; // memory dependence
+            }
+            if pr.dest.is_some_and(|d| reads.contains(&d)) {
+                return false; // true dependence (no copy bypass in a climb)
+            }
+            if dest.is_some() && pr.dest == dest {
+                return false; // output conflict would force a rename
+            }
+        }
+        // Move-past-read: a co-resident op reading the mover's dest at
+        // entry would observe the new value once the mover leaves upward.
+        if let Some(d) = dest {
+            if g.node(leaving)
+                .tree
+                .placed_ops()
+                .iter()
+                .any(|&(_, q)| q != op && g.op(q).reads_reg(d))
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Ops committing on `leaf_path` of `n` (mirror of the move planner's
+/// path set).
+fn ops_committing_on(g: &Graph, n: NodeId, leaf_path: TreePath) -> Vec<OpId> {
+    let mut out = Vec::new();
+    g.node(n).tree.walk(&mut |p, t| {
+        if p.is_prefix_of(leaf_path) {
+            out.extend_from_slice(t.ops());
+        }
+    });
+    out
+}
+
+/// Would `op`, landing at `n`, read a register whose producer is still in
+/// flight at `n`'s entry? An upward walk over the *current* graph — the
+/// multi-hop sweep moves producers between checks, so the pass-start
+/// countdown snapshot cannot be trusted. Conservative: any definition
+/// within latency range counts, even if a nearer redefinition shadows it.
+fn landing_too_hot(
+    g: &Graph,
+    preds: &HashMap<NodeId, Vec<NodeId>>,
+    desc: &MachineDesc,
+    n: NodeId,
+    op: OpId,
+) -> bool {
+    let reads: Vec<RegId> = g.op(op).reads().collect();
+    if reads.is_empty() {
+        return false;
+    }
+    let lmax = desc.max_latency();
+    let mut level: Vec<NodeId> = preds.get(&n).cloned().unwrap_or_default();
+    let mut seen: HashSet<(NodeId, u32)> = HashSet::new();
+    for b in 1..lmax {
+        let mut next = Vec::new();
+        for &m in &level {
+            if !g.node_exists(m) || !seen.insert((m, b)) {
+                continue;
+            }
+            for &(_, o) in g.node_ops(m) {
+                let pr = g.op(o);
+                if let Some(d) = pr.dest {
+                    if reads.contains(&d) && desc.latency_of(pr.kind) > b {
+                        return true;
+                    }
+                }
+            }
+            if let Some(ps) = preds.get(&m) {
+                next.extend_from_slice(ps);
+            }
+        }
+        level = next;
+        if level.is_empty() {
+            break;
+        }
+    }
+    false
 }
 
 // ----------------------------------------------------------------------
@@ -511,6 +727,7 @@ fn record_hazard_counters(s: &HazardStats) {
     grip_obs::counter!("grip_hazard_edges_total").add(s.hazards);
     grip_obs::counter!("grip_hazard_delay_rows_total").add(s.delay_rows);
     grip_obs::counter!("grip_hazard_backfills_total").add(s.backfilled);
+    grip_obs::counter!("grip_hazard_multihop_total").add(s.multihop);
     grip_obs::counter!("grip_hazard_reclaimed_rows_total").add(s.reclaimed_rows);
 }
 

@@ -42,6 +42,45 @@ pub struct Instruction {
     pub tree: Tree,
 }
 
+/// Cached per-node derived data, rebuilt whenever the node's tree is
+/// edited. Because all structural mutation goes through [`Graph`]
+/// methods, the cache can never go stale; it turns the scheduler's
+/// hottest queries (`node_ops`, `successors`, `node_op_count`) from
+/// allocating tree walks into slice reads.
+#[derive(Clone, Debug)]
+struct NodeCache {
+    /// `(position, op)` pairs in pre-order (cjs at their branch position).
+    ops: Vec<(TreePath, OpId)>,
+    /// Leaf positions with their successors, in pre-order.
+    leaves: Vec<(TreePath, Option<NodeId>)>,
+    /// Successors with duplicates (leaf order).
+    succs: Vec<NodeId>,
+    /// Sorted, deduplicated successors.
+    uniq: Vec<NodeId>,
+    /// Ordinary (non-cj) op count.
+    op_count: usize,
+    /// Conditional-jump count.
+    cj_count: usize,
+    /// [`Graph::version`] at the last content change of this node (tree
+    /// edit or operand rewrite of a placed op) — per-node dirty bit for
+    /// incremental analyses.
+    stamp: u64,
+}
+
+impl NodeCache {
+    fn build(tree: &Tree, stamp: u64) -> NodeCache {
+        let ops = tree.placed_ops();
+        let leaves = tree.leaves();
+        let succs: Vec<NodeId> = leaves.iter().filter_map(|&(_, s)| s).collect();
+        let mut uniq = succs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let op_count = tree.op_count();
+        let cj_count = tree.cj_count();
+        NodeCache { ops, leaves, succs, uniq, op_count, cj_count, stamp }
+    }
+}
+
 /// A whole program: instruction nodes, an operation arena, register and
 /// array books, and the designated entry node.
 ///
@@ -52,6 +91,9 @@ pub struct Instruction {
 pub struct Graph {
     ops: Vec<Operation>,
     nodes: Vec<Option<Instruction>>,
+    caches: Vec<Option<NodeCache>>,
+    version: u64,
+    edge_version: u64,
     placed: Vec<Option<NodeId>>,
     /// Entry instruction.
     pub entry: NodeId,
@@ -89,6 +131,9 @@ impl Graph {
         let mut g = Graph {
             ops: Vec::new(),
             nodes: Vec::new(),
+            caches: Vec::new(),
+            version: 0,
+            edge_version: 0,
             placed: Vec::new(),
             entry: NodeId::new(0),
             next_reg: 0,
@@ -105,8 +150,46 @@ impl Graph {
     // Registers and arrays
     // ------------------------------------------------------------------
 
+    /// Monotonic mutation stamp: bumped on *every* change (ops, trees,
+    /// edges, registers). Analyses cache against it.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Monotonic control-flow stamp: bumped only when an edge of the
+    /// graph changes (split, branch removal, node deletion, redirect).
+    /// Reachability-shaped caches key on this — plain op hops between
+    /// existing nodes leave it untouched.
+    #[inline]
+    pub fn edge_version(&self) -> u64 {
+        self.edge_version
+    }
+
+    /// [`Graph::version`] at the last content change of node `n` (tree
+    /// edit, or operand rewrite of an op placed in it).
+    #[inline]
+    pub fn node_stamp(&self, n: NodeId) -> u64 {
+        self.caches[n.index()].as_ref().expect("node deleted").stamp
+    }
+
+    /// Rebuild the derived-data cache of `n` after a tree edit.
+    fn refresh_cache(&mut self, n: NodeId) {
+        self.version += 1;
+        self.caches[n.index()] =
+            self.nodes[n.index()].as_ref().map(|i| NodeCache::build(&i.tree, self.version));
+    }
+
+    /// Exclusive upper bound on node indices ever allocated (deleted slots
+    /// included) — the capacity for dense node-indexed side tables.
+    #[inline]
+    pub fn node_index_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Allocate a fresh virtual register.
     pub fn fresh_reg(&mut self) -> RegId {
+        self.version += 1;
         let r = RegId(self.next_reg);
         self.next_reg += 1;
         self.reg_names.push(None);
@@ -153,6 +236,7 @@ impl Graph {
     /// Intern a new operation (not yet placed in any node). Its `orig`
     /// ancestor is itself.
     pub fn add_op(&mut self, mut op: Operation) -> OpId {
+        self.version += 1;
         let id = OpId::new(self.ops.len());
         op.orig = id;
         self.ops.push(op);
@@ -162,6 +246,7 @@ impl Graph {
 
     /// Intern a duplicate of `op` (same `orig` ancestor), unplaced.
     pub fn dup_op(&mut self, op: OpId) -> OpId {
+        self.version += 1;
         let cloned = self.ops[op.index()].clone();
         let id = OpId::new(self.ops.len());
         self.ops.push(cloned);
@@ -180,6 +265,14 @@ impl Graph {
     /// (copy bypassing, renaming) are fine.
     #[inline]
     pub fn op_mut(&mut self, id: OpId) -> &mut Operation {
+        self.version += 1;
+        // An operand rewrite changes the holding node's read set; stamp it
+        // so per-node analysis caches (liveness use/def) see the change.
+        if let Some(n) = self.placed[id.index()] {
+            if let Some(c) = self.caches[n.index()].as_mut() {
+                c.stamp = self.version;
+            }
+        }
         &mut self.ops[id.index()]
     }
 
@@ -201,11 +294,14 @@ impl Graph {
     /// Add an instruction node built from `tree`. All ops referenced by the
     /// tree are marked as placed here.
     pub fn add_node(&mut self, tree: Tree) -> NodeId {
+        self.version += 1;
+        self.edge_version += 1;
         let id = NodeId::new(self.nodes.len());
         for (_, op) in tree.placed_ops() {
             debug_assert!(self.placed[op.index()].is_none(), "{op} already placed");
             self.placed[op.index()] = Some(id);
         }
+        self.caches.push(Some(NodeCache::build(&tree, self.version)));
         self.nodes.push(Some(Instruction { tree }));
         id
     }
@@ -232,17 +328,27 @@ impl Graph {
         self.nodes.iter().filter(|n| n.is_some()).count()
     }
 
-    /// Successor instructions of `n` (duplicates preserved).
-    pub fn successors(&self, n: NodeId) -> Vec<NodeId> {
-        self.node(n).tree.successors()
+    #[inline]
+    fn cache(&self, n: NodeId) -> &NodeCache {
+        self.caches[n.index()].as_ref().expect("node deleted")
     }
 
-    /// Unique successor instructions of `n`.
-    pub fn unique_successors(&self, n: NodeId) -> Vec<NodeId> {
-        let mut s = self.successors(n);
-        s.sort_unstable();
-        s.dedup();
-        s
+    /// Successor instructions of `n` (duplicates preserved).
+    #[inline]
+    pub fn successors(&self, n: NodeId) -> &[NodeId] {
+        &self.cache(n).succs
+    }
+
+    /// Unique successor instructions of `n` (sorted).
+    #[inline]
+    pub fn unique_successors(&self, n: NodeId) -> &[NodeId] {
+        &self.cache(n).uniq
+    }
+
+    /// Leaf positions of `n` with their successors, in pre-order.
+    #[inline]
+    pub fn node_leaves(&self, n: NodeId) -> &[(TreePath, Option<NodeId>)] {
+        &self.cache(n).leaves
     }
 
     /// Predecessor map for the whole graph (recomputed on demand; graphs in
@@ -251,7 +357,7 @@ impl Graph {
     pub fn predecessors(&self) -> HashMap<NodeId, Vec<NodeId>> {
         let mut preds: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         for n in self.node_ids() {
-            for s in self.unique_successors(n) {
+            for &s in self.unique_successors(n) {
                 preds.entry(s).or_default().push(n);
             }
         }
@@ -268,6 +374,7 @@ impl Graph {
         let instr = self.nodes[n.index()].as_mut().expect("node deleted");
         let pos = instr.tree.remove_op(op).expect("op not in node");
         self.placed[op.index()] = None;
+        self.refresh_cache(n);
         pos
     }
 
@@ -277,6 +384,7 @@ impl Graph {
         let instr = self.nodes[n.index()].as_mut().expect("node deleted");
         instr.tree.insert_op(path, op);
         self.placed[op.index()] = Some(n);
+        self.refresh_cache(n);
     }
 
     /// Split the leaf of `n` at `path` into a branch on the unplaced cj
@@ -293,6 +401,8 @@ impl Graph {
         let instr = self.nodes[n.index()].as_mut().expect("node deleted");
         instr.tree.split_leaf(path, cj, t_succ, f_succ);
         self.placed[cj.index()] = Some(n);
+        self.edge_version += 1;
+        self.refresh_cache(n);
     }
 
     /// Remove the root-or-interior branch of `n` at `path`, keeping one
@@ -303,6 +413,8 @@ impl Graph {
         self.placed[cj.index()] = None;
         // Ops from the discarded side are gone from the tree; unplace them.
         self.resync_node_placements(n);
+        self.edge_version += 1;
+        self.refresh_cache(n);
         cj
     }
 
@@ -367,7 +479,9 @@ impl Graph {
         for i in 0..self.nodes.len() {
             if i != n.index() {
                 if let Some(instr) = self.nodes[i].as_mut() {
-                    instr.tree.redirect(n, succ);
+                    if instr.tree.redirect(n, succ) > 0 {
+                        self.refresh_cache(NodeId::new(i));
+                    }
                 }
             }
         }
@@ -387,6 +501,9 @@ impl Graph {
             }
         }
         self.nodes[n.index()] = None;
+        self.caches[n.index()] = None;
+        self.version += 1;
+        self.edge_version += 1;
     }
 
     /// Set the successor of the leaf at `path` in node `n`.
@@ -396,6 +513,8 @@ impl Graph {
             Some(Tree::Leaf { succ: s, .. }) => *s = succ,
             _ => panic!("set_succ: {n}@{path} is not a leaf"),
         }
+        self.edge_version += 1;
+        self.refresh_cache(n);
     }
 
     /// Replace every edge `X -> from` in the graph with `X -> to`.
@@ -403,9 +522,14 @@ impl Graph {
         let mut n = 0;
         for i in 0..self.nodes.len() {
             if let Some(instr) = self.nodes[i].as_mut() {
-                n += instr.tree.redirect(from, to);
+                let hits = instr.tree.redirect(from, to);
+                if hits > 0 {
+                    self.refresh_cache(NodeId::new(i));
+                }
+                n += hits;
             }
         }
+        self.edge_version += 1;
         n
     }
 
@@ -414,18 +538,22 @@ impl Graph {
     // ------------------------------------------------------------------
 
     /// Ordinary-operation count of node `n` (its functional-unit demand).
+    #[inline]
     pub fn node_op_count(&self, n: NodeId) -> usize {
-        self.node(n).tree.op_count()
+        self.cache(n).op_count
     }
 
     /// Conditional-jump count of node `n`.
+    #[inline]
     pub fn node_cj_count(&self, n: NodeId) -> usize {
-        self.node(n).tree.cj_count()
+        self.cache(n).cj_count
     }
 
-    /// All ops placed in `n` with their tree positions (cjs included).
-    pub fn node_ops(&self, n: NodeId) -> Vec<(TreePath, OpId)> {
-        self.node(n).tree.placed_ops()
+    /// All ops placed in `n` with their tree positions (cjs included),
+    /// in pre-order.
+    #[inline]
+    pub fn node_ops(&self, n: NodeId) -> &[(TreePath, OpId)] {
+        &self.cache(n).ops
     }
 
     /// Nodes reachable from `entry`, in a stable breadth-first order.
@@ -437,7 +565,7 @@ impl Graph {
         queue.push_back(self.entry);
         while let Some(n) = queue.pop_front() {
             out.push(n);
-            for s in self.unique_successors(n) {
+            for &s in self.unique_successors(n) {
                 if !seen[s.index()] {
                     seen[s.index()] = true;
                     queue.push_back(s);
@@ -562,9 +690,9 @@ mod tests {
         let n1 = g.add_node(Tree::Leaf { ops: vec![op1], succ: None });
         // entry -> n1
         let entry = g.entry;
-        g.nodes[entry.index()].as_mut().unwrap().tree = Tree::leaf(Some(n1));
+        g.set_succ(entry, TreePath::ROOT, Some(n1));
         g.validate().unwrap();
-        assert_eq!(g.successors(entry), vec![n1]);
+        assert_eq!(g.successors(entry), [n1]);
         assert_eq!(g.placement(op1), Some(n1));
         assert_eq!(g.reachable(), vec![entry, n1]);
     }
@@ -576,7 +704,7 @@ mod tests {
         let op1 = simple_op(&mut g, r);
         let n2 = g.add_node(Tree::leaf(None));
         let n1 = g.add_node(Tree::Leaf { ops: vec![op1], succ: Some(n2) });
-        g.nodes[g.entry.index()].as_mut().unwrap().tree = Tree::leaf(Some(n1));
+        g.set_succ(g.entry, TreePath::ROOT, Some(n1));
         g.validate().unwrap();
         let pos = g.remove_op_from(n1, op1);
         assert_eq!(pos, TreePath::ROOT);
@@ -607,10 +735,10 @@ mod tests {
         let mut g = Graph::new();
         let n3 = g.add_node(Tree::leaf(None));
         let n2 = g.add_node(Tree::leaf(Some(n3)));
-        g.nodes[g.entry.index()].as_mut().unwrap().tree = Tree::leaf(Some(n2));
+        g.set_succ(g.entry, TreePath::ROOT, Some(n2));
         g.delete_empty_node(n2);
         g.validate().unwrap();
-        assert_eq!(g.successors(g.entry), vec![n3]);
+        assert_eq!(g.successors(g.entry), [n3]);
         assert!(!g.node_exists(n2));
     }
 
@@ -622,6 +750,7 @@ mod tests {
         let _n1 = g.add_node(Tree::Leaf { ops: vec![op1], succ: None });
         // Manually corrupt: same op in another node.
         let bad = Instruction { tree: Tree::Leaf { ops: vec![op1], succ: None } };
+        g.caches.push(Some(NodeCache::build(&bad.tree, 0)));
         g.nodes.push(Some(bad));
         assert!(g.validate().is_err());
     }
@@ -650,7 +779,7 @@ mod tests {
             on_true: Box::new(Tree::leaf(Some(n2))),
             on_false: Box::new(Tree::leaf(Some(n3))),
         });
-        g.nodes[g.entry.index()].as_mut().unwrap().tree = Tree::leaf(Some(n1));
+        g.set_succ(g.entry, TreePath::ROOT, Some(n1));
         let preds = g.predecessors();
         assert_eq!(preds[&n2], vec![n1]);
         assert_eq!(preds[&n1], vec![g.entry]);

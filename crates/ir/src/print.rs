@@ -77,7 +77,7 @@ pub fn tableau(g: &Graph, nodes: &[NodeId], iters: usize) -> Vec<TableauRow> {
     let mut rows = Vec::with_capacity(nodes.len());
     for &n in nodes {
         let mut cells = vec![String::new(); iters];
-        let mut ops = g.node_ops(n);
+        let mut ops = g.node_ops(n).to_vec();
         ops.sort_by_key(|&(_, o)| o);
         for (_, o) in ops {
             let op = g.op(o);

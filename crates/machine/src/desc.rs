@@ -207,8 +207,8 @@ impl MachineDesc {
     /// Ordinary operations of class `c` currently placed in `node`.
     pub fn class_count(g: &Graph, node: NodeId, c: FuClass) -> usize {
         g.node_ops(node)
-            .into_iter()
-            .filter(|&(_, o)| {
+            .iter()
+            .filter(|&&(_, o)| {
                 let k = g.op(o).kind;
                 !k.is_cj() && FuClass::of(k) == c
             })
@@ -289,7 +289,7 @@ impl MachineDesc {
             return true;
         }
         let mut counts = [0usize; FuClass::COUNT];
-        for (_, o) in g.node_ops(node) {
+        for &(_, o) in g.node_ops(node) {
             let k = g.op(o).kind;
             if !k.is_cj() {
                 counts[FuClass::of(k).index()] += 1;

@@ -37,7 +37,7 @@ pub fn eliminate_dead_ops(g: &mut Graph, ctx: &mut Ctx<'_>, nodes: &[NodeId]) ->
             if !g.node_exists(n) {
                 continue;
             }
-            let ops: Vec<OpId> = g.node_ops(n).into_iter().map(|(_, o)| o).collect();
+            let ops: Vec<OpId> = g.node_ops(n).iter().map(|&(_, o)| o).collect();
             for op in ops {
                 if remove_if_dead(g, ctx, n, op) {
                     pass += 1;
@@ -66,29 +66,39 @@ pub fn eliminate_dead_ops(g: &mut Graph, ctx: &mut Ctx<'_>, nodes: &[NodeId]) ->
 /// carried/renaming copies of the unwound kernels die instead of competing
 /// for functional units.
 pub fn propagate_copies(g: &mut Graph, ctx: &mut Ctx<'_>) -> usize {
-    use std::collections::{HashMap, HashSet};
     let mut removed = 0;
+    // Epoch-stamped visited marks for the per-copy reachability DFS.
+    let mut seen: Vec<u64> = Vec::new();
+    let mut epoch = 0u64;
     loop {
         let nodes: Vec<NodeId> = g.node_ids().collect();
-        let mut def_count: HashMap<grip_ir::RegId, u32> = HashMap::new();
-        let mut def_node: HashMap<grip_ir::RegId, NodeId> = HashMap::new();
-        let mut copies: Vec<(NodeId, OpId, grip_ir::RegId, grip_ir::RegId)> = Vec::new();
+        let nreg = g.reg_count();
+        // Dense per-register tables: definition counts/sites and reader
+        // lists replace the whole-graph rescans the old per-copy loop did.
+        let mut def_count: Vec<u32> = vec![0; nreg];
+        let mut def_node: Vec<Option<NodeId>> = vec![None; nreg];
+        let mut readers: Vec<Vec<OpId>> = vec![Vec::new(); nreg];
+        let mut copies: Vec<(NodeId, OpId)> = Vec::new();
         for &n in &nodes {
-            for (_, op) in g.node_ops(n) {
+            for &(_, op) in g.node_ops(n) {
                 let o = g.op(op);
                 if let Some(d) = o.dest {
-                    *def_count.entry(d).or_insert(0) += 1;
-                    def_node.insert(d, n);
+                    def_count[d.index()] += 1;
+                    def_node[d.index()] = Some(n);
+                }
+                for r in o.reads() {
+                    readers[r.index()].push(op);
                 }
                 if o.is_reg_copy() {
-                    if let (Some(d), Some(src)) = (o.dest, o.src[0].reg()) {
-                        copies.push((n, op, d, src));
-                    }
+                    copies.push((n, op));
                 }
             }
         }
+        if seen.len() < g.node_index_bound() {
+            seen.resize(g.node_index_bound(), 0);
+        }
         let mut pass = 0;
-        for (cn, op, _d0, _s0) in copies {
+        for (cn, op) in copies {
             if !g.node_exists(cn) || g.placement(op) != Some(cn) {
                 continue;
             }
@@ -99,21 +109,19 @@ pub fn propagate_copies(g: &mut Graph, ctx: &mut Ctx<'_>) -> usize {
                 continue;
             }
             let (Some(d), Some(src)) = (o.dest, o.src[0].reg()) else { continue };
-            if d == src
-                || def_count.get(&d).copied() != Some(1)
-                || def_count.get(&src).copied() != Some(1)
-            {
+            if d == src || def_count[d.index()] != 1 || def_count[src.index()] != 1 {
                 continue;
             }
-            let s_def = def_node.get(&src).copied();
+            let s_def = def_node[src.index()];
             // Forward reachability from the copy, stopping at s's def node
             // and at the copy's node (either resets the value relation).
-            let mut visited: HashSet<NodeId> = HashSet::new();
-            let mut stack: Vec<NodeId> = g.unique_successors(cn);
+            epoch += 1;
+            let mut stack: Vec<NodeId> = g.unique_successors(cn).to_vec();
             while let Some(m) = stack.pop() {
-                if !visited.insert(m) {
+                if seen[m.index()] == epoch {
                     continue;
                 }
+                seen[m.index()] = epoch;
                 if Some(m) == s_def || m == cn {
                     continue; // include readers here, do not go past
                 }
@@ -121,39 +129,41 @@ pub fn propagate_copies(g: &mut Graph, ctx: &mut Ctx<'_>) -> usize {
             }
             // Readers co-located with the copy fetch the *previous*
             // execution's value at entry; they must keep reading d.
-            visited.remove(&cn);
-            // Rewrite readers inside the safe set.
+            // Rewrite readers inside the safe set. The reader list may hold
+            // stale entries (ops removed earlier this pass, or slots already
+            // rewritten); re-checking placement and operands filters them —
+            // exactly what the old whole-graph rescan established.
+            let rd = std::mem::take(&mut readers[d.index()]);
             let mut rewritten_all = true;
-            for &m in &nodes {
-                if !g.node_exists(m) {
+            for &reader in &rd {
+                if reader == op {
                     continue;
                 }
-                let ops: Vec<OpId> = g.node_ops(m).into_iter().map(|(_, o)| o).collect();
-                for reader in ops {
-                    if reader == op {
-                        continue;
-                    }
-                    let reads_d = g.op(reader).src.iter().any(|x| x.reg() == Some(d));
-                    if !reads_d {
-                        continue;
-                    }
-                    if visited.contains(&m) {
-                        let o = g.op_mut(reader);
-                        for slot in o.src.iter_mut() {
-                            if slot.reg() == Some(d) {
-                                *slot = grip_ir::Operand::Reg(src);
-                            }
+                let Some(m) = g.placement(reader) else { continue };
+                let reads_d = g.op(reader).src.iter().any(|x| x.reg() == Some(d));
+                if !reads_d {
+                    continue;
+                }
+                if seen[m.index()] == epoch && m != cn {
+                    let o = g.op_mut(reader);
+                    for slot in o.src.iter_mut() {
+                        if slot.reg() == Some(d) {
+                            *slot = grip_ir::Operand::Reg(src);
                         }
-                    } else {
-                        rewritten_all = false;
                     }
+                    // The reader now reads `src`: a later copy whose dest is
+                    // `src` (a copy-of-copy chain) must see it.
+                    readers[src.index()].push(reader);
+                } else {
+                    rewritten_all = false;
                 }
             }
+            readers[d.index()] = rd;
             if rewritten_all && !g.live_out.contains(&d) && g.node_exists(cn) {
                 g.remove_op_from(cn, op);
                 // d has no definition now: no later copy in this pass may
                 // treat it as single-def.
-                def_count.insert(d, 0);
+                def_count[d.index()] = 0;
                 pass += 1;
             }
         }

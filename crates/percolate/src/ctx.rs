@@ -1,6 +1,6 @@
 //! Shared analysis state threaded through the core transformations.
 
-use grip_analysis::{Ddg, Liveness};
+use grip_analysis::{Ddg, Liveness, LivenessCache};
 use grip_ir::{Graph, NodeId};
 use std::collections::HashMap;
 
@@ -19,17 +19,22 @@ pub struct Ctx<'a> {
     pub lv: Liveness,
     /// Predecessor map, refreshed after structural edits.
     pub preds: HashMap<NodeId, Vec<NodeId>>,
+    /// Per-node use/def summaries reused across liveness recomputes
+    /// (stamp-keyed; see [`LivenessCache`]).
+    lv_cache: LivenessCache,
 }
 
 impl<'a> Ctx<'a> {
     /// Build a context for the current graph state.
     pub fn new(g: &Graph, ddg: &'a Ddg) -> Ctx<'a> {
-        Ctx { ddg, lv: Liveness::compute(g), preds: g.predecessors() }
+        let mut lv_cache = LivenessCache::default();
+        let lv = Liveness::compute_with(g, &mut lv_cache);
+        Ctx { ddg, lv, preds: g.predecessors(), lv_cache }
     }
 
     /// Fully recompute liveness and predecessors (precision reset).
     pub fn refresh(&mut self, g: &Graph) {
-        self.lv = Liveness::compute(g);
+        self.lv = Liveness::compute_with(g, &mut self.lv_cache);
         self.preds = g.predecessors();
     }
 

@@ -62,7 +62,7 @@ fn independent_op_moves_up() {
     let mut ctx = Ctx::new(&g, &ddg);
 
     // Move `s` (independent of y=2) up into n2.
-    let s_op = g.node_ops(node_of(&g, g.node_ops(n2)[0].1)).clone();
+    let s_op = g.node_ops(node_of(&g, g.node_ops(n2)[0].1)).to_vec();
     let _ = s_op;
     let s_node = g
         .reachable()
@@ -563,7 +563,7 @@ fn chained_moves_compact_independent_ops_into_entry() {
             if n == g.entry || n == first || !g.node_exists(n) {
                 continue;
             }
-            let ops: Vec<OpId> = g.node_ops(n).into_iter().map(|(_, o)| o).collect();
+            let ops: Vec<OpId> = g.node_ops(n).iter().map(|&(_, o)| o).collect();
             for op in ops {
                 let preds = g.predecessors();
                 let Some(ps) = preds.get(&n) else { continue };

@@ -48,8 +48,8 @@ pub fn steady_rows(g: &Graph, region: &[NodeId], head: NodeId) -> Vec<NodeId> {
         let np = pos[&n];
         let reaches = g
             .unique_successors(n)
-            .into_iter()
-            .any(|s| pos.get(&s).is_some_and(|&sp| sp > np) && steady.contains(&s));
+            .iter()
+            .any(|&s| pos.get(&s).is_some_and(|&sp| sp > np) && steady.contains(&s));
         if reaches {
             steady.insert(n);
         }
@@ -62,7 +62,7 @@ pub fn steady_rows(g: &Graph, region: &[NodeId], head: NodeId) -> Vec<NodeId> {
 /// a compensation copy that inherited its ancestry.
 fn signature(g: &Graph, w: &Window, n: NodeId) -> Option<Vec<(OpId, u32, bool)>> {
     let mut sig = Vec::new();
-    for (_, op) in g.node_ops(n) {
+    for &(_, op) in g.node_ops(n) {
         let body = w.body_op(g, op)?;
         let o = g.op(op);
         let is_copy_artifact = o.kind == OpKind::Copy && g.op(body).kind != OpKind::Copy;
@@ -135,7 +135,7 @@ pub fn estimate_cpi(g: &Graph, w: &Window, rows: &[NodeId]) -> Option<f64> {
     let mut first_row: Vec<Option<usize>> = vec![None; u as usize];
     let mut last_row: Vec<Option<usize>> = vec![None; u as usize];
     for (ri, &n) in rows.iter().enumerate() {
-        for (_, op) in g.node_ops(n) {
+        for &(_, op) in g.node_ops(n) {
             let it = g.op(op).iter as usize;
             if it < first_row.len() {
                 if first_row[it].is_none() {
@@ -189,7 +189,7 @@ pub fn fu_lower_bound(g: &Graph, w: &Window, rows: &[NodeId], desc: &MachineDesc
     let mut ops = 0usize;
     let mut by_class = [0usize; FuClass::COUNT];
     for &n in rows {
-        for (_, op) in g.node_ops(n) {
+        for &(_, op) in g.node_ops(n) {
             let o = g.op(op);
             if o.iter == mid && !o.kind.is_cj() {
                 ops += 1;

@@ -222,7 +222,7 @@ pub fn roll(
     for (q, table) in periods.iter_mut().enumerate() {
         for j in 0..p {
             let row = rows[s + q * p + j];
-            for (_, op) in g.node_ops(row) {
+            for &(_, op) in g.node_ops(row) {
                 let (body_op, iter, art) =
                     ident_of(g, w, op).ok_or(RollError::Malformed("op without ancestry"))?;
                 let base_iter = iter as i64 - (q as u32 * shift) as i64;
@@ -241,7 +241,7 @@ pub fn roll(
     // --- Pattern defs and their next-period counterparts. ----------------
     let mut def_row: HashMap<RegId, (usize, OpId)> = HashMap::new();
     for (j, &row) in body.iter().enumerate() {
-        for (_, op) in g.node_ops(row) {
+        for &(_, op) in g.node_ops(row) {
             if let Some(d) = g.op(op).dest {
                 if def_row.insert(d, (j, op)).is_some() {
                     return Err(RollError::MultipleDefs(d));

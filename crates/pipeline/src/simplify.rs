@@ -26,7 +26,7 @@ pub fn simplify_inductions(g: &mut Graph, rows: &[NodeId]) -> usize {
     let mut affine = AffineMap::new();
     let mut rewrites = 0;
     for &n in rows {
-        let ops: Vec<_> = g.node_ops(n).into_iter().map(|(_, o)| o).collect();
+        let ops: Vec<_> = g.node_ops(n).iter().map(|&(_, o)| o).collect();
         for id in ops {
             let op = g.op(id);
             match op.kind {
@@ -116,7 +116,7 @@ mod tests {
         // All induction updates now read the canonical k directly.
         let mut iadds = 0;
         for &row in &w.rows {
-            for (_, o) in g.node_ops(row) {
+            for &(_, o) in g.node_ops(row) {
                 let op = g.op(o);
                 if op.kind == OpKind::IAdd {
                     iadds += 1;
@@ -129,7 +129,7 @@ mod tests {
         // Loads/stores of iteration i address x[k + i].
         for (idx, &row) in w.rows.iter().enumerate() {
             let iter = (idx / w.body_len) as i64;
-            for (_, o) in g.node_ops(row) {
+            for &(_, o) in g.node_ops(row) {
                 let op = g.op(o);
                 if op.kind.is_mem() {
                     assert_eq!(op.src[0], Operand::Reg(k), "{op}");

@@ -297,7 +297,7 @@ mod tests {
         let w = unwind(&mut g, 3);
         for (idx, &row) in w.rows.iter().enumerate() {
             let expect_iter = (idx / w.body_len) as u32;
-            for (_, op) in g.node_ops(row) {
+            for &(_, op) in g.node_ops(row) {
                 assert_eq!(g.op(op).iter, expect_iter, "row {idx}");
                 assert!(w.body_op(&g, op).is_some(), "every window op maps to a body op");
             }

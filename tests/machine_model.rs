@@ -158,7 +158,7 @@ fn mem_bound_port_limits_memory_issue() {
         if !g.node_exists(row) {
             continue;
         }
-        let mems = g.node_ops(row).into_iter().filter(|&(_, o)| g.op(o).kind.is_mem()).count();
+        let mems = g.node_ops(row).iter().filter(|&&(_, o)| g.op(o).kind.is_mem()).count();
         assert!(mems <= 1, "row {row} issues {mems} memory ops on a single port");
         any_mem |= mems == 1;
     }

@@ -64,7 +64,7 @@ impl Rng {
 fn placed_ops(g: &Graph) -> Vec<(NodeId, OpId)> {
     let mut out = Vec::new();
     for n in g.reachable() {
-        for (_, op) in g.node_ops(n) {
+        for &(_, op) in g.node_ops(n) {
             if g.op(op).kind != OpKind::CondJump {
                 out.push((n, op));
             }
@@ -77,7 +77,7 @@ fn placed_ops(g: &Graph) -> Vec<(NodeId, OpId)> {
 fn def_count(g: &Graph, r: RegId) -> usize {
     g.reachable()
         .into_iter()
-        .map(|n| g.node_ops(n).into_iter().filter(|&(_, op)| g.op(op).dest == Some(r)).count())
+        .map(|n| g.node_ops(n).iter().filter(|&&(_, op)| g.op(op).dest == Some(r)).count())
         .sum()
 }
 
@@ -159,8 +159,8 @@ fn mutate(g: &mut Graph, ddg: &Ddg, op: Op, rng: &mut Rng) -> Option<String> {
                 for m in g.reachable() {
                     if m != n
                         && g.node_ops(m)
-                            .into_iter()
-                            .any(|(_, q)| g.op(q).src.iter().any(|s| s.reads(d)))
+                            .iter()
+                            .any(|&(_, q)| g.op(q).src.iter().any(|s| s.reads(d)))
                     {
                         cands.push((n, op, m));
                     }
@@ -191,7 +191,7 @@ fn mutate(g: &mut Graph, ddg: &Ddg, op: Op, rng: &mut Rng) -> Option<String> {
                 let addr_regs: Vec<RegId> = lk.src.iter().filter_map(|s| s.reg()).collect();
                 let mut store_conflict = false;
                 let mut addr_redefined = false;
-                for (_, q) in g.node_ops(p) {
+                for &(_, q) in g.node_ops(p) {
                     let qo = g.op(q);
                     if qo.kind.is_store() && ddg.mem_dep(qo.orig, lk.orig) {
                         store_conflict = true;
