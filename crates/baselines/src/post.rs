@@ -86,6 +86,10 @@ pub fn post_pipeline(g: &mut Graph, opts: PostOptions) -> PipelineReport {
     // rows, so re-percolated duplicates may miss some memory pairs — the
     // prover simply proves a (still sound) weaker bound there.
     let (bounds, cpi_estimate) = certify_window(g, &window, &steady, &ddg, opts.resources.desc());
+    // Both scheduling passes (phase 1 compaction, phase 2b re-percolation)
+    // contribute to the pick-loop profile.
+    let mut phases = p1.phases;
+    phases.accumulate(&out.phases);
     PipelineReport {
         window,
         stats: out.stats,
@@ -98,6 +102,7 @@ pub fn post_pipeline(g: &mut Graph, opts: PostOptions) -> PipelineReport {
         // orig bookkeeping, so the GRiP auditor does not apply here.
         audit: None,
         bounds,
+        phases,
     }
 }
 

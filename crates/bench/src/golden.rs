@@ -108,7 +108,7 @@ pub fn golden_table(n: i64, parallel: bool) -> Vec<GoldenCell> {
         return ks.iter().flat_map(sweep).collect();
     }
     let pool: grip_service::pool::ShardedPool<&'static Kernel, Vec<GoldenCell>> =
-        grip_service::pool::ShardedPool::new(ks.len(), |_| (), move |_, _, k| sweep(k));
+        grip_service::pool::ShardedPool::new(ks.len(), |_| (), move |_, _, k, _| sweep(k));
     pool.map_batch(ks.iter().enumerate()).into_iter().flatten().collect()
 }
 

@@ -176,7 +176,11 @@ pub fn table1(n: i64, parallel: bool) -> Vec<Table1Row> {
         return ks.iter().map(|k| measure_kernel(k, n)).collect();
     }
     let pool: grip_service::pool::ShardedPool<&'static Kernel, Table1Row> =
-        grip_service::pool::ShardedPool::new(ks.len(), |_| (), move |_, _, k| measure_kernel(k, n));
+        grip_service::pool::ShardedPool::new(
+            ks.len(),
+            |_| (),
+            move |_, _, k, _| measure_kernel(k, n),
+        );
     pool.map_batch(ks.iter().enumerate())
 }
 

@@ -10,7 +10,7 @@
 
 use crate::json::Json;
 use crate::unwind_for;
-use grip_core::{MachineDesc, Resources};
+use grip_core::{MachineDesc, PhaseTimes, Resources};
 use grip_kernels::Kernel;
 use grip_pipeline::{perfect_pipeline, PipelineOptions};
 use grip_vm::{EquivReport, Machine};
@@ -46,6 +46,10 @@ pub struct MachineCell {
     /// Per-stage self times for this cell (prepare/schedule/hazards/
     /// verify plus the measured wall), from the grip-obs span collector.
     pub timings: grip_obs::StageBreakdown,
+    /// The scheduler's pick-loop phase profile for this cell (candidate
+    /// refresh / legality probes / move commits / dead-row sweeps) —
+    /// self-times inside the "schedule" stage, observation-only.
+    pub phases: PhaseTimes,
     /// The grip-audit static verifier found no diagnostics.
     pub audit_clean: bool,
     /// How many diagnostics it found (0 is the gate).
@@ -95,6 +99,14 @@ impl MachineCell {
             .field("audit_us", self.timings.audit_ns as f64 / 1000.0)
             .field("bounds_us", self.timings.bounds_ns as f64 / 1000.0)
             .field("wall_us", self.timings.total_ns as f64 / 1000.0)
+            .field(
+                "sched_phases",
+                Json::obj()
+                    .field("cand_refresh_us", self.phases.cand_refresh_ns as f64 / 1000.0)
+                    .field("legality_us", self.phases.legality_ns as f64 / 1000.0)
+                    .field("commit_us", self.phases.commit_ns as f64 / 1000.0)
+                    .field("dead_sweep_us", self.phases.dead_sweep_ns as f64 / 1000.0),
+            )
     }
 }
 
@@ -174,6 +186,7 @@ pub fn measure_machine(k: &Kernel, n: i64, desc: MachineDesc) -> MachineCell {
         hazard_delay_rows: rep.stats.hazard_delay_rows,
         hazard_backfills: rep.stats.hazard_backfills,
         timings: grip_obs::StageBreakdown::from_timings(&stage_timings),
+        phases: rep.phases,
         audit_clean: rep.audit.as_ref().is_some_and(|a| a.is_clean()),
         audit_diagnostics: rep.audit.as_ref().map_or(0, |a| a.diagnostics.len()),
         bounds: rep.bounds,
@@ -195,8 +208,49 @@ pub fn machine_table(n: i64, parallel: bool) -> Vec<MachineCell> {
         return ks.iter().flat_map(sweep_kernel).collect();
     }
     let pool: grip_service::pool::ShardedPool<&'static Kernel, Vec<MachineCell>> =
-        grip_service::pool::ShardedPool::new(ks.len(), |_| (), move |_, _, k| sweep_kernel(k));
+        grip_service::pool::ShardedPool::new(ks.len(), |_| (), move |_, _, k, _| sweep_kernel(k));
     pool.map_batch(ks.iter().enumerate()).into_iter().flatten().collect()
+}
+
+/// Re-measure, serially, any cell whose stage self-times fail to account
+/// for `min_cover` of its wall, and keep the re-measurement when it
+/// passes. The parallel sweep oversubscribes small machines (14 worker
+/// threads; CI runners have 1–2 cores), so one unlucky preemption landing
+/// *between* two stage spans parks the thread behind every other worker
+/// and shows up as tens of milliseconds of unaccounted wall — pure
+/// scheduling noise. A genuinely missing span fails serial re-measurement
+/// exactly the same way, so the gate keeps its teeth. Schedules are
+/// deterministic, so only the timing fields change; returns how many
+/// cells were re-measured.
+pub fn remeasure_unaccounted(cells: &mut [MachineCell], n: i64, min_cover: f64) -> usize {
+    let ks = grip_kernels::kernels();
+    let presets = MachineDesc::presets();
+    let mut redone = 0;
+    for cell in cells.iter_mut() {
+        let covered = |c: &MachineCell| {
+            c.timings.total_ns < 1_000_000
+                || c.timings.stage_sum_ns() as f64 >= min_cover * c.timings.total_ns as f64
+        };
+        if covered(cell) {
+            continue;
+        }
+        let (Some(k), Some(&desc)) = (
+            ks.iter().find(|k| k.name == cell.kernel),
+            presets.iter().find(|d| preset_label(d) == cell.machine),
+        ) else {
+            continue;
+        };
+        for _ in 0..2 {
+            let fresh = measure_machine(k, n, desc);
+            let ok = covered(&fresh);
+            *cell = fresh;
+            redone += 1;
+            if ok {
+                break;
+            }
+        }
+    }
+    redone
 }
 
 /// The whole sweep as one JSON document.
@@ -273,6 +327,9 @@ mod tests {
         assert_eq!(cell.sched_stalls, 0, "schedules must be stall-free: {cell:?}");
         assert!(cell.speedup > 1.0, "{cell:?}");
         assert!(cell.schedule_rows > 0);
+        assert!(cell.phases.total_ns() > 0, "pick-loop phase profile is empty: {cell:?}");
+        let json = cell.to_json().line();
+        assert!(json.contains("\"sched_phases\""), "{json}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use grip_percolate::{
     try_delete_empty, Ctx, MoveFail,
 };
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// When may an operation move *speculatively* (past a conditional it was
 /// guarded by)?
@@ -152,6 +153,53 @@ pub enum TraceEvent {
     Unsuspend,
 }
 
+/// Per-phase wall-clock self time of the pick loop, the scheduler's own
+/// profile: where does `schedule_ns` actually go? Kept **outside**
+/// [`ScheduleStats`] deliberately — stats ride the wire and participate
+/// in the bit-identity invariant (a cache hit must equal its cold run,
+/// counters included), while timings vary run to run. Phases:
+///
+/// * `cand_refresh` — building, sorting, and scanning the priority
+///   candidate list in [`Grip::pick_candidate`];
+/// * `legality` — the per-hop probe chain in [`Grip::migrate`]:
+///   parent search, suspension rules, resource/template room, latency
+///   guard, gapless-move test, and the `plan_move_*` dry runs;
+/// * `commit` — applying planned moves (`apply_move_*`, region splices,
+///   empty-row deletes) inside [`Grip::hop`];
+/// * `dead_sweep` — incremental dead-op sweeping and the DCE / empty-row
+///   passes between nodes.
+///
+/// The four phases don't cover the whole `grip` span (the bound-exit
+/// check, hazard post-pass, and loop bookkeeping fall outside), so they
+/// are reported as self-times, not a decomposition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Candidate-list refresh + scan nanoseconds.
+    pub cand_refresh_ns: u64,
+    /// Migration legality-probe nanoseconds (excluding commits).
+    pub legality_ns: u64,
+    /// Move-commit nanoseconds.
+    pub commit_ns: u64,
+    /// Dead-op sweep / DCE / empty-row cleanup nanoseconds.
+    pub dead_sweep_ns: u64,
+}
+
+impl PhaseTimes {
+    /// Sum of the four phases.
+    pub fn total_ns(&self) -> u64 {
+        self.cand_refresh_ns + self.legality_ns + self.commit_ns + self.dead_sweep_ns
+    }
+
+    /// Accumulate another run's phases (bench cells aggregate the
+    /// pipeline's runs per kernel).
+    pub fn accumulate(&mut self, other: &PhaseTimes) {
+        self.cand_refresh_ns += other.cand_refresh_ns;
+        self.legality_ns += other.legality_ns;
+        self.commit_ns += other.commit_ns;
+        self.dead_sweep_ns += other.dead_sweep_ns;
+    }
+}
+
 /// Result of scheduling a region.
 #[derive(Debug)]
 pub struct ScheduleOutput {
@@ -161,6 +209,9 @@ pub struct ScheduleOutput {
     pub trace: Vec<TraceEvent>,
     /// The region's surviving nodes, in schedule order.
     pub region: Vec<NodeId>,
+    /// The pick loop's own profile (observation-only; not part of the
+    /// wire response or the bit-identity invariant).
+    pub phases: PhaseTimes,
 }
 
 /// How far a migration got.
@@ -294,6 +345,7 @@ pub struct Grip<'g, 'a> {
     /// falling suspension floor re-exposes rows that must be re-swept).
     dead_start: usize,
     stats: ScheduleStats,
+    phases: PhaseTimes,
     trace: Vec<TraceEvent>,
 }
 
@@ -334,6 +386,7 @@ impl<'g, 'a> Grip<'g, 'a> {
             cand_key: (0, 0),
             dead_start: usize::MAX,
             stats: ScheduleStats::default(),
+            phases: PhaseTimes::default(),
             trace: Vec::new(),
         }
     }
@@ -425,7 +478,13 @@ impl<'g, 'a> Grip<'g, 'a> {
             self.stats.hazard_reclaimed_rows = hz.reclaimed_rows;
         }
         record_pass_counters(&self.stats);
-        ScheduleOutput { stats: self.stats, trace: self.trace, region: self.region }
+        record_phase_times(&self.phases);
+        ScheduleOutput {
+            stats: self.stats,
+            trace: self.trace,
+            region: self.region,
+            phases: self.phases,
+        }
     }
 
     /// True when the live rows from region position `from` onward already
@@ -521,7 +580,22 @@ impl<'g, 'a> Grip<'g, 'a> {
     /// list is live — the sorted walk returns exactly the op a full region
     /// rescan would have chosen (stable sort: priority ties keep the
     /// region scan order the rescan used).
+    ///
+    /// Timing wrapper: the whole call is `cand_refresh` self time, minus
+    /// whatever the nested [`Grip::sweep_dead`] attributed to
+    /// `dead_sweep`. Reading the clock changes no decision — the inner
+    /// logic is untouched.
     fn pick_candidate(&mut self, n: NodeId) -> Option<OpId> {
+        let t0 = Instant::now();
+        let sweep_before = self.phases.dead_sweep_ns;
+        let out = self.pick_candidate_inner(n);
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        let swept = self.phases.dead_sweep_ns - sweep_before;
+        self.phases.cand_refresh_ns += elapsed.saturating_sub(swept);
+        out
+    }
+
+    fn pick_candidate_inner(&mut self, n: NodeId) -> Option<OpId> {
         let npos = self.pos.get(n).expect("scheduled node is in the region");
         // Rule 3: with pending suspensions only ops strictly below the
         // lowest (deepest) suspended op may move.
@@ -589,6 +663,12 @@ impl<'g, 'a> Grip<'g, 'a> {
         if !self.cfg.dce {
             return;
         }
+        let t0 = Instant::now();
+        self.sweep_dead_inner(start, end);
+        self.phases.dead_sweep_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    fn sweep_dead_inner(&mut self, start: usize, end: usize) {
         let mut dead: Vec<(NodeId, OpId)> = Vec::new();
         for idx in start..end.min(self.region.len()) {
             let m = self.region[idx];
@@ -621,7 +701,22 @@ impl<'g, 'a> Grip<'g, 'a> {
     /// Migrate `op` toward `n` one instruction at a time (`migrate`, Figure
     /// 12). Each hop re-checks resources, legality, and — when enabled —
     /// the Gapless-move test.
+    ///
+    /// Timing wrapper: the whole call is `legality` self time, minus the
+    /// apply sections [`Grip::hop`] attributes to `commit` — so the probe
+    /// chain (parent search, room checks, latency guard, gapless test,
+    /// plan dry runs) is measured separately from committed mutation.
     fn migrate(&mut self, n: NodeId, op: OpId) -> Migrated {
+        let t0 = Instant::now();
+        let commit_before = self.phases.commit_ns;
+        let out = self.migrate_inner(n, op);
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        let committed = self.phases.commit_ns - commit_before;
+        self.phases.legality_ns += elapsed.saturating_sub(committed);
+        out
+    }
+
+    fn migrate_inner(&mut self, n: NodeId, op: OpId) -> Migrated {
         let mut progressed = false;
         loop {
             let Some(cur) = self.g.placement(op) else {
@@ -739,6 +834,7 @@ impl<'g, 'a> Grip<'g, 'a> {
         let is_cj = self.g.op(op).kind.is_cj();
         if is_cj {
             let plan = plan_move_cj(self.g, self.ctx, cur, parent, op, path, None)?;
+            let commit_t0 = Instant::now();
             let out = apply_move_cj(self.g, self.ctx, cur, parent, op, path, &plan);
             if let Some(split) = out.split {
                 self.insert_region_after(cur, split);
@@ -749,6 +845,7 @@ impl<'g, 'a> Grip<'g, 'a> {
             for r in [out.true_residue, out.false_residue] {
                 self.try_delete(r);
             }
+            self.phases.commit_ns += commit_t0.elapsed().as_nanos() as u64;
         } else {
             let plan = plan_move_op(self.g, self.ctx, cur, parent, op, path, None)?;
             // Refuse to rename copies: a compensation copy of a copy can
@@ -774,6 +871,7 @@ impl<'g, 'a> Grip<'g, 'a> {
                     return Err(MoveFail::SpeculativeStore);
                 }
             }
+            let commit_t0 = Instant::now();
             let out = apply_move_op(self.g, self.ctx, cur, parent, op, path, &plan);
             if out.renamed.is_some() {
                 self.stats.renames += 1;
@@ -783,6 +881,7 @@ impl<'g, 'a> Grip<'g, 'a> {
                 self.stats.splits += 1;
             }
             self.try_delete(cur);
+            self.phases.commit_ns += commit_t0.elapsed().as_nanos() as u64;
         }
         self.stats.hops += 1;
         Ok(())
@@ -1070,6 +1169,12 @@ impl<'g, 'a> Grip<'g, 'a> {
     }
 
     fn dce_sweep(&mut self) {
+        let t0 = Instant::now();
+        self.dce_sweep_inner();
+        self.phases.dead_sweep_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    fn dce_sweep_inner(&mut self) {
         self.stats.dce_removed += propagate_copies(self.g, self.ctx) as u64;
         self.ctx.refresh(self.g);
         loop {
@@ -1095,6 +1200,12 @@ impl<'g, 'a> Grip<'g, 'a> {
     }
 
     fn cleanup_empty_below(&mut self, from_idx: usize) {
+        let t0 = Instant::now();
+        self.cleanup_empty_below_inner(from_idx);
+        self.phases.dead_sweep_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    fn cleanup_empty_below_inner(&mut self, from_idx: usize) {
         let mut i = from_idx;
         while i < self.region.len() {
             let n = self.region[i];
@@ -1163,6 +1274,33 @@ fn record_pass_counters(s: &ScheduleStats) {
     grip_obs::counter!("grip_suspensions_total").add(s.suspensions);
     grip_obs::counter!("grip_dce_removed_total").add(s.dce_removed);
     grip_obs::counter!("grip_bound_exits_total").add(s.bound_exits);
+}
+
+/// Fold one run's [`PhaseTimes`] into the registry: ns-sum counters per
+/// pick-loop phase, so a long-lived server (and the windowed `stats`
+/// command) can see where scheduling time goes across runs. Like the
+/// pass counters, bumped once per run, never inside the hot loops.
+fn record_phase_times(p: &PhaseTimes) {
+    grip_obs::counter!(
+        "grip_sched_phase_cand_refresh_ns_total",
+        "Scheduler self-time building and scanning the candidate list, ns."
+    )
+    .add(p.cand_refresh_ns);
+    grip_obs::counter!(
+        "grip_sched_phase_legality_ns_total",
+        "Scheduler self-time in per-hop legality probes, ns."
+    )
+    .add(p.legality_ns);
+    grip_obs::counter!(
+        "grip_sched_phase_commit_ns_total",
+        "Scheduler self-time applying committed moves, ns."
+    )
+    .add(p.commit_ns);
+    grip_obs::counter!(
+        "grip_sched_phase_dead_sweep_ns_total",
+        "Scheduler self-time sweeping dead ops and empty rows, ns."
+    )
+    .add(p.dead_sweep_ns);
 }
 
 /// Convenience: schedule `region` of `g` and return the output.

@@ -35,7 +35,8 @@ pub mod hazards;
 mod resources;
 
 pub use grip::{
-    schedule_region, Grip, GripConfig, ScheduleOutput, ScheduleStats, Speculation, TraceEvent,
+    schedule_region, Grip, GripConfig, PhaseTimes, ScheduleOutput, ScheduleStats, Speculation,
+    TraceEvent,
 };
 pub use grip_machine::{FuClass, LatencyTable, MachineDesc, MachineError, MachineModel, UNCAPPED};
 pub use hazards::HazardStats;

@@ -31,11 +31,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod events;
 pub mod metrics;
 pub mod span;
+pub mod window;
 
+pub use events::{FlightRecord, FlightRecorder, SlowCapture};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry, Snapshot};
 pub use span::{collect, enter, SpanGuard, StageBreakdown, StageTimings};
+pub use window::{WindowAggregator, WindowStats};
 
 /// Open a named span scope: `let _g = span!("schedule");`. The span ends
 /// (and records its self time) when the guard drops, including during
@@ -48,29 +52,54 @@ macro_rules! span {
 }
 
 /// A process-wide counter handle, resolved once per call site:
-/// `counter!("grip_hops_total").add(n)`.
+/// `counter!("grip_hops_total").add(n)`. The two-argument form also
+/// registers a `# HELP` description for the Prometheus exposition:
+/// `counter!("grip_hops_total", "Committed scheduler hops.")`.
 #[macro_export]
 macro_rules! counter {
     ($name:expr) => {{
         static HANDLE: std::sync::OnceLock<$crate::metrics::Counter> = std::sync::OnceLock::new();
         HANDLE.get_or_init(|| $crate::metrics::global().counter($name))
     }};
+    ($name:expr, $help:expr) => {{
+        static HANDLE: std::sync::OnceLock<$crate::metrics::Counter> = std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| {
+            $crate::metrics::global().describe($name, $help);
+            $crate::metrics::global().counter($name)
+        })
+    }};
 }
 
-/// A process-wide gauge handle, resolved once per call site.
+/// A process-wide gauge handle, resolved once per call site. The
+/// two-argument form also registers a `# HELP` description.
 #[macro_export]
 macro_rules! gauge {
     ($name:expr) => {{
         static HANDLE: std::sync::OnceLock<$crate::metrics::Gauge> = std::sync::OnceLock::new();
         HANDLE.get_or_init(|| $crate::metrics::global().gauge($name))
     }};
+    ($name:expr, $help:expr) => {{
+        static HANDLE: std::sync::OnceLock<$crate::metrics::Gauge> = std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| {
+            $crate::metrics::global().describe($name, $help);
+            $crate::metrics::global().gauge($name)
+        })
+    }};
 }
 
-/// A process-wide histogram handle, resolved once per call site.
+/// A process-wide histogram handle, resolved once per call site. The
+/// two-argument form also registers a `# HELP` description.
 #[macro_export]
 macro_rules! histogram {
     ($name:expr) => {{
         static HANDLE: std::sync::OnceLock<$crate::metrics::Histogram> = std::sync::OnceLock::new();
         HANDLE.get_or_init(|| $crate::metrics::global().histogram($name))
+    }};
+    ($name:expr, $help:expr) => {{
+        static HANDLE: std::sync::OnceLock<$crate::metrics::Histogram> = std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| {
+            $crate::metrics::global().describe($name, $help);
+            $crate::metrics::global().histogram($name)
+        })
     }};
 }

@@ -133,21 +133,28 @@ impl Histogram {
     /// are bucket bounds; within a factor of 2 otherwise — good enough
     /// for the latency summaries this crate feeds.
     pub fn quantile(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
-        let mut seen = 0u64;
-        let buckets = self.buckets();
-        for (i, &c) in buckets.iter().enumerate() {
-            seen += c;
-            if c > 0 && seen > rank {
-                return bucket_bound(i);
-            }
-        }
-        bucket_bound(BUCKETS - 1)
+        quantile_from_buckets(&self.buckets(), q)
     }
+}
+
+/// The nearest-rank quantile over a raw bucket-count array (index as in
+/// [`bucket_index`]): the upper bound of the bucket holding the ranked
+/// sample. Shared by [`Histogram::quantile`] and the windowed aggregator,
+/// which quantiles over *delta* bucket arrays between two snapshots.
+pub fn quantile_from_buckets(buckets: &[u64; BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if c > 0 && seen > rank {
+            return bucket_bound(i);
+        }
+    }
+    bucket_bound(BUCKETS - 1)
 }
 
 enum Metric {
@@ -156,19 +163,37 @@ enum Metric {
     Histogram(Histogram),
 }
 
+#[derive(Default)]
+struct RegInner {
+    /// Names in registration order (exposition is deterministic given a
+    /// deterministic registration order).
+    order: Vec<String>,
+    metrics: HashMap<String, Metric>,
+    /// Explicit `# HELP` strings; families without one get a derived
+    /// default at exposition time.
+    help: HashMap<String, String>,
+}
+
 /// A named collection of metrics. Most code uses the process-wide
 /// [`global`] registry; tests can build private ones.
 #[derive(Default)]
 pub struct Registry {
-    // Names in registration order (exposition is deterministic given a
-    // deterministic registration order), values shared with handles.
-    inner: Mutex<(Vec<String>, HashMap<String, Metric>)>,
+    inner: Mutex<RegInner>,
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// Attach a `# HELP` string to `name` (first writer wins, so any call
+    /// site can describe a metric without coordination). The two-argument
+    /// forms of [`crate::counter!`] / [`crate::gauge!`] /
+    /// [`crate::histogram!`] route through here.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.help.entry(name.to_string()).or_insert_with(|| help.to_string());
     }
 
     fn get_or_insert<T: Clone>(
@@ -179,14 +204,14 @@ impl Registry {
         fresh: fn() -> T,
     ) -> T {
         let mut inner = self.inner.lock().expect("metrics registry poisoned");
-        if let Some(m) = inner.1.get(name) {
+        if let Some(m) = inner.metrics.get(name) {
             return unwrap(m).unwrap_or_else(|| {
                 panic!("metric '{name}' already registered with a different type")
             });
         }
         let v = fresh();
-        inner.0.push(name.to_string());
-        inner.1.insert(name.to_string(), wrap(v.clone()));
+        inner.order.push(name.to_string());
+        inner.metrics.insert(name.to_string(), wrap(v.clone()));
         v
     }
 
@@ -232,9 +257,9 @@ impl Registry {
     /// A point-in-time copy of every metric, for exposition.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.inner.lock().expect("metrics registry poisoned");
-        let mut out = Vec::with_capacity(inner.0.len());
-        for name in &inner.0 {
-            let value = match &inner.1[name] {
+        let mut out = Vec::with_capacity(inner.order.len());
+        for name in &inner.order {
+            let value = match &inner.metrics[name] {
                 Metric::Counter(c) => SnapValue::Counter(c.get()),
                 Metric::Gauge(g) => SnapValue::Gauge(g.get()),
                 Metric::Histogram(h) => SnapValue::Histogram {
@@ -245,7 +270,7 @@ impl Registry {
             };
             out.push((name.clone(), value));
         }
-        Snapshot(out)
+        Snapshot { entries: out, help: inner.help.clone() }
     }
 }
 
@@ -275,14 +300,45 @@ pub enum SnapValue {
 }
 
 /// A point-in-time copy of a registry, in registration order.
-#[derive(Clone, Debug)]
-pub struct Snapshot(pub Vec<(String, SnapValue)>);
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Metric entries in registration order.
+    pub entries: Vec<(String, SnapValue)>,
+    /// Explicit help strings registered via [`Registry::describe`].
+    pub help: HashMap<String, String>,
+}
+
+/// The derived `# HELP` text for a family with no explicit description:
+/// states the metric kind and the `ns`-by-convention unit for histograms.
+pub fn default_help(name: &str, v: &SnapValue) -> String {
+    match v {
+        SnapValue::Counter(_) => format!("Monotonic counter {name}."),
+        SnapValue::Gauge(_) => format!("Gauge {name}."),
+        SnapValue::Histogram { .. } => format!("Log2-bucketed histogram {name} (ns)."),
+    }
+}
 
 impl Snapshot {
     /// Look up a counter by name (for tests and smoke checks).
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.0.iter().find_map(|(n, v)| match v {
+        self.entries.iter().find_map(|(n, v)| match v {
             SnapValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            SnapValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// Look up a histogram's `(count, sum)` by name.
+    pub fn histogram(&self, name: &str) -> Option<(u64, u64)> {
+        self.entries.iter().find_map(|(n, v)| match v {
+            SnapValue::Histogram { count, sum, .. } if n == name => Some((*count, *sum)),
             _ => None,
         })
     }
@@ -292,7 +348,7 @@ impl Snapshot {
     /// elided.
     pub fn to_json(&self) -> Json {
         let mut j = Json::obj();
-        for (name, v) in &self.0 {
+        for (name, v) in &self.entries {
             let value = match v {
                 SnapValue::Counter(c) => Json::Int(*c as i64),
                 SnapValue::Gauge(g) => Json::Int(*g),
@@ -320,11 +376,17 @@ impl Snapshot {
     }
 
     /// The Prometheus text exposition (histograms as cumulative
-    /// `_bucket{le="…"}` series plus `_sum` / `_count`).
+    /// `_bucket{le="…"}` series plus `_sum` / `_count`). Every family is
+    /// announced by a `# HELP` / `# TYPE` pair — [`prometheus_lint`]
+    /// enforces the pairing — using the registered description or a
+    /// derived default.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for (name, v) in &self.0 {
+        for (name, v) in &self.entries {
+            let help =
+                self.help.get(name).map_or_else(|| default_help(name, v), |h| escape_help(h));
+            let _ = writeln!(out, "# HELP {name} {help}");
             match v {
                 SnapValue::Counter(c) => {
                     let _ = writeln!(out, "# TYPE {name} counter");
@@ -356,35 +418,198 @@ impl Snapshot {
     }
 }
 
-/// Check a Prometheus text exposition for line-format validity: every
-/// line is a `# …` comment or `metric_name[{label="value",…}] number`.
+/// Escape a help string for a `# HELP` line: `\` and newline are the two
+/// characters the exposition format escapes there.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse one `{label="value",…}` block (starting after the `{`), with
+/// escape-aware quote scanning: inside a quoted value only `\\`, `\"`,
+/// and `\n` are legal escapes. Returns the byte offset just past the
+/// closing `}` on success.
+fn lint_labels(s: &str) -> Result<usize, String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    loop {
+        // Label name.
+        let start = i;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b':') {
+            i += 1;
+        }
+        if i == start {
+            return Err(if i < b.len() && b[i] == b'}' {
+                // `{}` or a trailing comma: empty block is fine, dangling
+                // comma is not (start > 0 means we consumed a comma).
+                if start == 0 {
+                    return Ok(i + 1);
+                }
+                "dangling comma in label block".to_string()
+            } else {
+                "empty label name".to_string()
+            });
+        }
+        if !valid_name(&s[start..i]) {
+            return Err(format!("bad label name {:?}", &s[start..i]));
+        }
+        if i >= b.len() || b[i] != b'=' {
+            return Err("label name not followed by '='".to_string());
+        }
+        i += 1;
+        if i >= b.len() || b[i] != b'"' {
+            return Err("label value not quoted".to_string());
+        }
+        i += 1;
+        // Scan the quoted value, validating escapes.
+        loop {
+            match b.get(i) {
+                None => return Err("unterminated label value".to_string()),
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'\\') => match b.get(i + 1) {
+                    Some(b'\\') | Some(b'"') | Some(b'n') => i += 2,
+                    other => {
+                        return Err(format!(
+                            "bad escape \\{} in label value",
+                            other.map_or(String::new(), |&c| (c as char).to_string())
+                        ))
+                    }
+                },
+                Some(_) => i += 1,
+            }
+        }
+        match b.get(i) {
+            Some(b'}') => return Ok(i + 1),
+            Some(b',') => i += 1,
+            _ => return Err("label pair not followed by ',' or '}'".to_string()),
+        }
+    }
+}
+
+/// The family block a `# TYPE` declaration opens: which sample names may
+/// follow it before the next declaration.
+struct Family {
+    name: String,
+    histogram: bool,
+    saw_sample: bool,
+}
+
+impl Family {
+    fn owns(&self, sample: &str) -> bool {
+        if sample == self.name {
+            return true;
+        }
+        self.histogram
+            && sample
+                .strip_prefix(self.name.as_str())
+                .is_some_and(|suf| matches!(suf, "_bucket" | "_sum" | "_count"))
+    }
+}
+
+/// Check a Prometheus text exposition for validity. Beyond per-line
+/// shape (`metric_name[{label="value",…}] number`), this enforces the
+/// declaration discipline the exposition format specifies and
+/// [`Snapshot::to_prometheus`] emits:
+///
+/// * every `# TYPE` is immediately preceded by a `# HELP` for the same
+///   metric, and every `# HELP` is immediately followed by its `# TYPE`
+///   (pairing both ways); no family is declared twice;
+/// * sample lines between a declaration and the next belong to the
+///   declared family (for histograms: the name itself or its `_bucket` /
+///   `_sum` / `_count` series), and no declared family is empty;
+/// * label values are escape-checked (`\\`, `\"`, `\n` only) with a real
+///   quote scanner, so an embedded `"` or stray backslash is caught.
+///
 /// Returns the first offending line. Used by the CI metrics smoke.
 pub fn prometheus_lint(text: &str) -> Result<(), String> {
-    fn valid_name(s: &str) -> bool {
-        !s.is_empty()
-            && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
-            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    let mut pending_help: Option<String> = None;
+    let mut family: Option<Family> = None;
+    let mut declared: std::collections::HashSet<String> = std::collections::HashSet::new();
+    // Close out the current family block, checking it was not empty.
+    fn close(family: &mut Option<Family>) -> Result<(), String> {
+        match family.take() {
+            Some(f) if !f.saw_sample => {
+                Err(format!("family {} declared but has no samples", f.name))
+            }
+            _ => Ok(()),
+        }
     }
     for (no, line) in text.lines().enumerate() {
-        if line.is_empty() || line.starts_with('#') {
+        let at = |msg: String| format!("line {}: {msg}", no + 1);
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if !valid_name(name) {
+                return Err(at(format!("bad metric name in HELP: {name:?}")));
+            }
+            if pending_help.is_some() {
+                return Err(at(format!("HELP {name} follows a HELP with no TYPE")));
+            }
+            // HELP text escaping: only `\\` and `\n` are legal.
+            let hb = help.as_bytes();
+            let mut i = 0;
+            while i < hb.len() {
+                if hb[i] == b'\\' {
+                    match hb.get(i + 1) {
+                        Some(b'\\') | Some(b'n') => i += 2,
+                        _ => return Err(at(format!("bad escape in HELP text for {name}"))),
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            close(&mut family).map_err(&at)?;
+            pending_help = Some(name.to_string());
             continue;
         }
-        let bad = || format!("line {}: malformed sample line: {line:?}", no + 1);
-        // Split off an optional {labels} block.
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| at(format!("TYPE line missing a type: {line:?}")))?;
+            if !valid_name(name) {
+                return Err(at(format!("bad metric name in TYPE: {name:?}")));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(at(format!("unknown metric type {kind:?}")));
+            }
+            if pending_help.as_deref() != Some(name) {
+                return Err(at(format!("TYPE {name} not immediately preceded by HELP {name}")));
+            }
+            pending_help = None;
+            if !declared.insert(name.to_string()) {
+                return Err(at(format!("family {name} declared twice")));
+            }
+            family = Some(Family {
+                name: name.to_string(),
+                histogram: matches!(kind, "histogram" | "summary"),
+                saw_sample: false,
+            });
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            // A plain comment or blank line breaks HELP/TYPE adjacency.
+            if let Some(h) = pending_help.take() {
+                return Err(at(format!("HELP {h} not immediately followed by TYPE {h}")));
+            }
+            continue;
+        }
+        if let Some(h) = pending_help.take() {
+            return Err(at(format!("HELP {h} not immediately followed by TYPE {h}")));
+        }
+        // Sample line: name, optional labels, value.
+        let bad = || at(format!("malformed sample line: {line:?}"));
         let (name, rest) = match line.find('{') {
             Some(open) => {
-                let close = line.find('}').ok_or_else(bad)?;
-                if close < open {
-                    return Err(bad());
-                }
-                let labels = &line[open + 1..close];
-                for pair in labels.split(',').filter(|p| !p.is_empty()) {
-                    let (k, v) = pair.split_once('=').ok_or_else(bad)?;
-                    if !valid_name(k) || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
-                        return Err(bad());
-                    }
-                }
-                (&line[..open], &line[close + 1..])
+                let consumed =
+                    lint_labels(&line[open + 1..]).map_err(|e| at(format!("{e}: {line:?}")))?;
+                (&line[..open], &line[open + 1 + consumed..])
             }
             None => {
                 let sp = line.find(' ').ok_or_else(bad)?;
@@ -392,12 +617,26 @@ pub fn prometheus_lint(text: &str) -> Result<(), String> {
             }
         };
         if !valid_name(name) {
-            return Err(format!("line {}: bad metric name {name:?}", no + 1));
+            return Err(at(format!("bad metric name {name:?}")));
         }
         let value = rest.trim();
         if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN" {
-            return Err(format!("line {}: bad sample value {value:?}", no + 1));
+            return Err(at(format!("bad sample value {value:?}")));
+        }
+        match family.as_mut() {
+            Some(f) if f.owns(name) => f.saw_sample = true,
+            Some(f) => {
+                return Err(at(format!(
+                    "sample {name} inside family block {} (undeclared family?)",
+                    f.name
+                )))
+            }
+            None => {} // untyped samples outside any block are legal
         }
     }
+    if let Some(h) = pending_help {
+        return Err(format!("HELP {h} not followed by TYPE {h}"));
+    }
+    close(&mut family).map_err(|e| format!("end of exposition: {e}"))?;
     Ok(())
 }

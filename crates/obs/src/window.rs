@@ -1,0 +1,237 @@
+//! Rolling-window aggregation over the metrics registry: periodic
+//! snapshots retained in a bounded deque, and windowed statistics
+//! (deltas, rates, p50/p95/p99) computed by *subtracting* the oldest
+//! in-window snapshot from a fresh one.
+//!
+//! Counters and histogram buckets are monotone, so the subtraction is
+//! exact: the delta bucket array is precisely the histogram of samples
+//! recorded inside the window, and quantiling it (via
+//! [`crate::metrics::quantile_from_buckets`]) gives windowed percentiles
+//! with the same bucket-bound accuracy as the cumulative histograms.
+//! Gauges are not differenced — the newest value is the windowed value.
+//!
+//! A long-lived `grip-serve` ticks the [`global`] aggregator from a
+//! sampler thread (~1 Hz) and answers `{"cmd":"stats"}` with
+//! [`WindowStats::to_json`], so operators see "what's happening now",
+//! not "since boot".
+
+use crate::metrics::{quantile_from_buckets, Registry, SnapValue, Snapshot, BUCKETS};
+use grip_json::Json;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Default window width for the [`global`] aggregator.
+pub const DEFAULT_WINDOW: Duration = Duration::from_secs(60);
+/// Default cap on retained snapshots (at 1 Hz ticks this comfortably
+/// covers the default window with room for bursty ticking).
+pub const DEFAULT_SLOTS: usize = 128;
+
+/// One windowed counter: how much it grew inside the window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterWindow {
+    /// Increase over the window.
+    pub delta: u64,
+    /// `delta / elapsed` per second.
+    pub rate: f64,
+}
+
+/// One windowed histogram: the distribution of samples recorded inside
+/// the window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistWindow {
+    /// Samples recorded inside the window.
+    pub count: u64,
+    /// Sum of those samples.
+    pub sum: u64,
+    /// `count / elapsed` per second.
+    pub rate: f64,
+    /// Windowed p50 (bucket-bound approximate, like the cumulative
+    /// quantiles).
+    pub p50: u64,
+    /// Windowed p95.
+    pub p95: u64,
+    /// Windowed p99.
+    pub p99: u64,
+}
+
+/// Windowed statistics over every metric that moved inside the window.
+/// Metrics with a zero delta are elided (readers treat absence as 0), so
+/// a `stats` answer stays proportional to actual activity.
+#[derive(Clone, Debug, Default)]
+pub struct WindowStats {
+    /// Actual width of the window this was computed over (the gap
+    /// between the two snapshots differenced — at most the configured
+    /// window, less right after boot).
+    pub elapsed_s: f64,
+    /// Snapshots currently retained.
+    pub samples: usize,
+    /// Counter deltas, in registration order.
+    pub counters: Vec<(String, CounterWindow)>,
+    /// Current gauge values, in registration order.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram windows, in registration order.
+    pub histograms: Vec<(String, HistWindow)>,
+}
+
+impl WindowStats {
+    /// Look up a windowed counter.
+    pub fn counter(&self, name: &str) -> Option<&CounterWindow> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, w)| w)
+    }
+
+    /// Look up a windowed histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistWindow> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, w)| w)
+    }
+
+    /// JSON shape:
+    /// `{"elapsed_s": …, "samples": …, "counters": {name: {delta, rate}},
+    ///   "gauges": {name: v},
+    ///   "histograms": {name: {count, sum, rate, p50, p95, p99}}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = self.counters.iter().fold(Json::obj(), |acc, (name, w)| {
+            acc.field(name, Json::obj().field("delta", w.delta).field("rate", w.rate))
+        });
+        let gauges = self.gauges.iter().fold(Json::obj(), |acc, (name, v)| acc.field(name, *v));
+        let histograms = self.histograms.iter().fold(Json::obj(), |acc, (name, w)| {
+            acc.field(
+                name,
+                Json::obj()
+                    .field("count", w.count)
+                    .field("sum", w.sum)
+                    .field("rate", w.rate)
+                    .field("p50", w.p50)
+                    .field("p95", w.p95)
+                    .field("p99", w.p99),
+            )
+        });
+        Json::obj()
+            .field("elapsed_s", self.elapsed_s)
+            .field("samples", self.samples)
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("histograms", histograms)
+    }
+}
+
+/// The aggregator: a bounded deque of timestamped snapshots.
+pub struct WindowAggregator {
+    window: Duration,
+    max_slots: usize,
+    inner: Mutex<VecDeque<(Instant, Snapshot)>>,
+}
+
+impl WindowAggregator {
+    /// An aggregator over the last `window` of time, retaining at most
+    /// `max_slots` snapshots.
+    pub fn new(window: Duration, max_slots: usize) -> WindowAggregator {
+        WindowAggregator { window, max_slots: max_slots.max(2), inner: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Record a snapshot of `reg` now, pruning expired slots. One
+    /// snapshot *older* than the window is kept as the subtraction
+    /// baseline — without it, a freshly pruned aggregator would only
+    /// cover the gap back to the second-oldest tick.
+    pub fn tick_registry(&self, reg: &Registry) {
+        let now = Instant::now();
+        let snap = reg.snapshot();
+        let mut slots = self.inner.lock().expect("window aggregator poisoned");
+        slots.push_back((now, snap));
+        let expired = |t: Instant| now.saturating_duration_since(t) > self.window;
+        while slots.len() > 2 && expired(slots[1].0) {
+            slots.pop_front();
+        }
+        while slots.len() > self.max_slots {
+            slots.pop_front();
+        }
+    }
+
+    /// Windowed stats: the difference between a fresh snapshot of `reg`
+    /// and the oldest retained one. With no retained snapshots (never
+    /// ticked), the window is empty — `elapsed_s` is 0 and every list is
+    /// empty.
+    pub fn stats_registry(&self, reg: &Registry) -> WindowStats {
+        let now = Instant::now();
+        let newest = reg.snapshot();
+        let slots = self.inner.lock().expect("window aggregator poisoned");
+        let Some((base_t, base)) = slots.front() else {
+            return WindowStats::default();
+        };
+        let elapsed = now.saturating_duration_since(*base_t).as_secs_f64();
+        let mut stats = window_between(base, &newest, elapsed);
+        stats.samples = slots.len();
+        stats
+    }
+
+    /// Snapshots currently retained (for tests and the sampler's own
+    /// telemetry).
+    pub fn samples(&self) -> usize {
+        self.inner.lock().expect("window aggregator poisoned").len()
+    }
+}
+
+/// Difference two snapshots of the same registry taken `elapsed_s`
+/// apart (`base` first). Names only ever accumulate in registration
+/// order, so `base` holds a prefix-set of `newest`'s names; metrics
+/// born inside the window difference against an implicit zero.
+pub fn window_between(base: &Snapshot, newest: &Snapshot, elapsed_s: f64) -> WindowStats {
+    let rate = |n: u64| if elapsed_s > 0.0 { n as f64 / elapsed_s } else { 0.0 };
+    let mut stats = WindowStats { elapsed_s, ..WindowStats::default() };
+    for (name, v) in &newest.entries {
+        let old = base.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v);
+        match v {
+            SnapValue::Counter(c) => {
+                let prev = match old {
+                    Some(SnapValue::Counter(p)) => *p,
+                    _ => 0,
+                };
+                let delta = c.saturating_sub(prev);
+                if delta > 0 {
+                    stats.counters.push((name.clone(), CounterWindow { delta, rate: rate(delta) }));
+                }
+            }
+            SnapValue::Gauge(g) => {
+                if *g != 0 {
+                    stats.gauges.push((name.clone(), *g));
+                }
+            }
+            SnapValue::Histogram { count, sum, buckets } => {
+                let (pc, ps, pb) = match old {
+                    Some(SnapValue::Histogram { count, sum, buckets }) => {
+                        (*count, *sum, Some(buckets))
+                    }
+                    _ => (0, 0, None),
+                };
+                let dcount = count.saturating_sub(pc);
+                if dcount == 0 {
+                    continue;
+                }
+                let mut delta = [0u64; BUCKETS];
+                for (i, d) in delta.iter_mut().enumerate() {
+                    let prev = pb.map_or(0, |b| b[i]);
+                    *d = buckets[i].saturating_sub(prev);
+                }
+                stats.histograms.push((
+                    name.clone(),
+                    HistWindow {
+                        count: dcount,
+                        sum: sum.saturating_sub(ps),
+                        rate: rate(dcount),
+                        p50: quantile_from_buckets(&delta, 0.50),
+                        p95: quantile_from_buckets(&delta, 0.95),
+                        p99: quantile_from_buckets(&delta, 0.99),
+                    },
+                ));
+            }
+        }
+    }
+    stats
+}
+
+/// The process-wide aggregator over the global registry (60 s window),
+/// ticked by `grip-serve`'s sampler thread.
+pub fn global() -> &'static WindowAggregator {
+    static GLOBAL: OnceLock<WindowAggregator> = OnceLock::new();
+    GLOBAL.get_or_init(|| WindowAggregator::new(DEFAULT_WINDOW, DEFAULT_SLOTS))
+}

@@ -31,7 +31,7 @@ fn counters_survive_a_thread_hammering() {
     assert_eq!(h.count(), THREADS as u64 * PER_THREAD);
     assert_eq!(h.sum(), THREADS as u64 * (PER_THREAD * (PER_THREAD - 1) / 2));
     // Registration is idempotent: same handle, not a second metric.
-    assert_eq!(reg.snapshot().0.len(), 3);
+    assert_eq!(reg.snapshot().entries.len(), 3);
 }
 
 #[test]
@@ -202,11 +202,293 @@ fn prometheus_lint_rejects_malformed_lines() {
     }
 }
 
+#[test]
+fn prometheus_lint_enforces_help_type_pairing() {
+    // The well-formed shape: HELP immediately followed by TYPE, then the
+    // family's samples.
+    let good = "# HELP m_total What m counts.\n# TYPE m_total counter\nm_total 3\n";
+    assert!(prometheus_lint(good).is_ok());
+    let good_hist = "# HELP h_ns Latency.\n# TYPE h_ns histogram\n\
+                     h_ns_bucket{le=\"1\"} 1\nh_ns_bucket{le=\"+Inf\"} 2\nh_ns_sum 9\nh_ns_count 2\n";
+    assert!(prometheus_lint(good_hist).is_ok());
+    for (bad, why) in [
+        ("# TYPE m_total counter\nm_total 3\n", "TYPE without HELP"),
+        ("# HELP m_total Help.\nm_total 3\n", "HELP without TYPE"),
+        ("# HELP m_total Help.\n# TYPE other counter\nother 1\n", "HELP/TYPE name mismatch"),
+        ("# HELP m Help.\n# TYPE m counter\n", "declared family with no samples"),
+        (
+            "# HELP m Help.\n# TYPE m counter\nm 1\n# HELP m Help.\n# TYPE m counter\nm 2\n",
+            "family declared twice",
+        ),
+        ("# HELP m Help.\n# TYPE m counter\nintruder 1\n", "foreign sample inside a family"),
+        ("# HELP m Help.\n# TYPE m widget\nm 1\n", "unknown metric type"),
+        ("# HELP m bad \\q escape.\n# TYPE m counter\nm 1\n", "bad HELP escape"),
+    ] {
+        assert!(prometheus_lint(bad).is_err(), "{why}: {bad:?} should fail the lint");
+    }
+}
+
+#[test]
+fn prometheus_lint_checks_label_escaping() {
+    assert!(prometheus_lint("m{k=\"a\\\\b\\\"c\\nd\"} 1\n").is_ok(), "legal escapes");
+    for (bad, why) in [
+        ("m{k=\"a\\qb\"} 1\n", "unknown escape"),
+        ("m{k=\"a\\\"} 1\n", "escape eats the closing quote"),
+        ("m{k=\"v\",} 1\n", "dangling comma"),
+        ("m{=\"v\"} 1\n", "empty label name"),
+        ("m{k=\"v\"x=\"y\"} 1\n", "missing comma between pairs"),
+    ] {
+        assert!(prometheus_lint(bad).is_err(), "{why}: {bad:?} should fail the lint");
+    }
+}
+
+#[test]
+fn exposition_emits_paired_help_lines() {
+    let reg = Registry::new();
+    reg.describe("helped_total", "An explicitly described counter.");
+    reg.counter("helped_total").add(1);
+    reg.counter("unhelped_total").add(2);
+    let text = reg.snapshot().to_prometheus();
+    prometheus_lint(&text).expect("exposition passes its own lint");
+    assert!(text.contains("# HELP helped_total An explicitly described counter.\n"));
+    assert!(text.contains("# HELP unhelped_total "), "derived default HELP for {text}");
+    // Pairing: each HELP is directly followed by its TYPE.
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, l) in lines.iter().enumerate() {
+        if let Some(rest) = l.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap();
+            assert!(
+                lines[i + 1].starts_with(&format!("# TYPE {name} ")),
+                "HELP {name} not followed by its TYPE in {text}"
+            );
+        }
+    }
+}
+
 /// Spin for at least `ms` milliseconds of wall time (sleep granularity is
 /// too coarse for self-time assertions on a loaded CI box).
 fn busy(ms: u64) {
     let t0 = std::time::Instant::now();
     while t0.elapsed().as_millis() < ms as u128 {
         std::hint::spin_loop();
+    }
+}
+
+mod recorder {
+    use grip_obs::events::{FlightRecord, FlightRecorder, SlowCapture};
+    use grip_obs::StageBreakdown;
+
+    fn rec(trace: &str, wall_ns: u64, slow: bool) -> FlightRecord {
+        FlightRecord {
+            trace_id: trace.to_string(),
+            kernel: "LL5".to_string(),
+            machine: "epic8".to_string(),
+            shard: 3,
+            ok: true,
+            verified: true,
+            cache: "cold".to_string(),
+            enqueue_ns: 10,
+            dequeue_ns: 25,
+            finish_ns: 25 + wall_ns,
+            queue_wait_ns: 15,
+            wall_ns,
+            stages: StageBreakdown {
+                schedule_ns: wall_ns,
+                total_ns: wall_ns,
+                ..Default::default()
+            },
+            audit_diagnostics: 0,
+            bound_cycles: 7,
+            at_bound: true,
+            result_digest: 0xdead_beef_cafe_f00d,
+            slow: slow.then(|| SlowCapture {
+                spans: vec![("grip".to_string(), wall_ns)],
+                counters: vec![("iterations".to_string(), 42)],
+            }),
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_the_most_recent() {
+        let r = FlightRecorder::new(8, 4);
+        for i in 0..20 {
+            r.record(rec(&format!("t{i}"), 100 + i, false));
+        }
+        assert_eq!(r.total_recorded(), 20);
+        let recent = r.recent(100);
+        assert_eq!(recent.len(), 8, "ring is bounded");
+        // Most recent first, oldest survivors at the tail.
+        assert_eq!(recent[0].trace_id, "t19");
+        assert_eq!(recent[7].trace_id, "t12");
+        assert_eq!(r.recent(3).len(), 3, "n caps the dump");
+    }
+
+    #[test]
+    fn slow_captures_survive_main_ring_wraparound() {
+        let r = FlightRecorder::new(4, 4);
+        r.record(rec("slow-one", 9_999, true));
+        for i in 0..50 {
+            r.record(rec(&format!("fast{i}"), 10, false));
+        }
+        assert!(r.recent(100).iter().all(|x| x.trace_id != "slow-one"), "evicted from main ring");
+        let slow = r.slow(100);
+        assert_eq!(slow.len(), 1, "retained in the slow ring");
+        assert_eq!(slow[0].trace_id, "slow-one");
+        let cap = slow[0].slow.as_ref().expect("capture attached");
+        assert_eq!(cap.spans, vec![("grip".to_string(), 9_999)]);
+        assert_eq!(cap.counters, vec![("iterations".to_string(), 42)]);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_or_duplicate_under_capacity() {
+        let r = FlightRecorder::new(4096, 8);
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 200;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        r.record(rec(&format!("w{t}-{i}"), i, false));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.total_recorded(), THREADS * PER_THREAD);
+        let all = r.recent(usize::MAX);
+        assert_eq!(all.len(), (THREADS * PER_THREAD) as usize, "under capacity: nothing dropped");
+        let distinct: std::collections::HashSet<&str> =
+            all.iter().map(|x| x.trace_id.as_str()).collect();
+        assert_eq!(distinct.len(), all.len(), "no duplicates");
+        // Per-writer order is preserved even under interleaving.
+        for t in 0..THREADS {
+            let seq: Vec<&str> = all
+                .iter()
+                .rev() // oldest first
+                .filter(|x| x.trace_id.starts_with(&format!("w{t}-")))
+                .map(|x| x.trace_id.as_str())
+                .collect();
+            let expect: Vec<String> = (0..PER_THREAD).map(|i| format!("w{t}-{i}")).collect();
+            assert_eq!(seq, expect.iter().map(String::as_str).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn flight_records_round_trip_through_json() {
+        for slow in [false, true] {
+            let before = rec("rt-1", 5_000, slow);
+            let j = grip_json::Json::parse(&before.to_json().line()).expect("record JSON parses");
+            let after = FlightRecord::from_json(&j);
+            assert_eq!(before, after, "slow={slow}");
+        }
+        assert_eq!(
+            rec("d", 1, false).to_json().get("digest").and_then(grip_json::Json::as_str),
+            Some("deadbeefcafef00d")
+        );
+    }
+
+    #[test]
+    fn slow_threshold_is_shared_and_defaults_off() {
+        let r = FlightRecorder::new(4, 4);
+        assert_eq!(r.slow_threshold_ns(), u64::MAX, "disabled by default");
+        r.set_slow_threshold_ns(1_000_000);
+        assert_eq!(r.slow_threshold_ns(), 1_000_000);
+    }
+}
+
+mod windowed {
+    use grip_obs::metrics::Registry;
+    use grip_obs::window::WindowAggregator;
+    use std::time::Duration;
+
+    /// splitmix64, same generator the service workload shuffles with.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Exact nearest-rank percentile over a sorted slice.
+    fn exact(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[rank]
+    }
+
+    #[test]
+    fn windowed_percentiles_bracket_exact_percentiles_on_prng_data() {
+        let reg = Registry::new();
+        let agg = WindowAggregator::new(Duration::from_secs(3600), 16);
+        let h = reg.histogram("w_lat_ns");
+        // Pre-window samples that the delta must exclude: a thick band of
+        // huge values that would wreck the percentiles if leaked in.
+        for _ in 0..1000 {
+            h.record(1 << 40);
+        }
+        agg.tick_registry(&reg);
+
+        let mut state = 0x5eed_u64;
+        let mut samples: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            // Spread over ~6 decades so many buckets participate.
+            let v = splitmix64(&mut state) % 1_000_000;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+
+        let stats = agg.stats_registry(&reg);
+        let w = stats.histogram("w_lat_ns").expect("windowed histogram present");
+        assert_eq!(w.count, 10_000, "window counts only in-window samples");
+        assert_eq!(w.sum, samples.iter().sum::<u64>());
+        for (q, got) in [(0.50, w.p50), (0.95, w.p95), (0.99, w.p99)] {
+            let want = exact(&samples, q);
+            // Bucket-bound accuracy: the answer is the inclusive upper
+            // bound of the exact sample's log2 bucket.
+            assert!(
+                got >= want && got <= want.saturating_mul(2).saturating_add(1),
+                "p{q}: windowed {got} vs exact {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_window_by_delta_and_current_value() {
+        let reg = Registry::new();
+        let agg = WindowAggregator::new(Duration::from_secs(3600), 16);
+        let c = reg.counter("w_total");
+        let g = reg.gauge("w_depth");
+        c.add(100);
+        agg.tick_registry(&reg);
+        c.add(7);
+        g.set(-4);
+        let stats = agg.stats_registry(&reg);
+        assert_eq!(stats.counter("w_total").map(|w| w.delta), Some(7), "pre-window excluded");
+        assert_eq!(stats.gauges, vec![("w_depth".to_string(), -4)], "gauges report current");
+        assert!(stats.elapsed_s >= 0.0);
+        // Metrics born inside the window difference against zero.
+        reg.counter("w_born_total").add(3);
+        assert_eq!(agg.stats_registry(&reg).counter("w_born_total").map(|w| w.delta), Some(3));
+    }
+
+    #[test]
+    fn never_ticked_aggregator_reports_an_empty_window() {
+        let reg = Registry::new();
+        reg.counter("w_x_total").add(5);
+        let agg = WindowAggregator::new(Duration::from_secs(1), 4);
+        let stats = agg.stats_registry(&reg);
+        assert_eq!(stats.samples, 0);
+        assert!(stats.counters.is_empty() && stats.histograms.is_empty());
+    }
+
+    #[test]
+    fn slot_cap_bounds_retention() {
+        let reg = Registry::new();
+        let agg = WindowAggregator::new(Duration::from_secs(3600), 4);
+        for _ in 0..50 {
+            agg.tick_registry(&reg);
+        }
+        assert!(agg.samples() <= 4, "slot cap enforced: {}", agg.samples());
     }
 }

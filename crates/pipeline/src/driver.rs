@@ -8,7 +8,7 @@ use crate::unwind::{unwind, Window};
 use grip_analysis::{Ddg, RankTable};
 use grip_audit::AuditReport;
 use grip_bounds::BoundCertificate;
-use grip_core::{schedule_region, GripConfig, Resources, ScheduleStats};
+use grip_core::{schedule_region, GripConfig, PhaseTimes, Resources, ScheduleStats};
 use grip_ir::{Graph, NodeId};
 use grip_machine::{FuClass, MachineDesc, UNCAPPED};
 use grip_percolate::Ctx;
@@ -77,6 +77,10 @@ pub struct PipelineReport {
     /// Proven lower bound on the steady-window schedule length, with the
     /// achieved-vs-provable gap (`grip-bounds`).
     pub bounds: BoundCertificate,
+    /// The scheduler's pick-loop phase profile (candidate refresh /
+    /// legality probes / commit / dead-row sweep). Observation-only: not
+    /// on the wire, not part of bit-identity.
+    pub phases: PhaseTimes,
 }
 
 impl PipelineReport {
@@ -232,6 +236,7 @@ pub fn schedule_window(
         rolled,
         audit,
         bounds,
+        phases: out.phases,
     }
 }
 

@@ -3,41 +3,62 @@
 //! Three modes, composable into shell pipelines:
 //!
 //! ```text
-//! grip-client --emit [--repeat K] [--n N] [--seed S] [--metrics]
+//! grip-client --emit [--repeat K] [--n N] [--seed S] [--metrics] [--probes]
+//!             [--rate R --duration S]
 //!     print the mixed sweep (all presets × LL1–LL14, repeated K times,
 //!     shuffled) as JSON-lines requests on stdout, every request opting
-//!     into the grip-audit report; --metrics appends {"cmd":"metrics"}
-//!     (JSON and Prometheus forms) after the sweep
+//!     into the grip-audit report; with --rate/--duration the emitter
+//!     goes open-loop instead: it cycles the sweep at a fixed arrival
+//!     rate of R requests/s for S seconds, flushing per line, so the
+//!     server's shard queues see real arrival pressure; --metrics
+//!     appends {"cmd":"metrics"} (JSON and Prometheus forms) and
+//!     --probes appends {"cmd":"events"} + {"cmd":"stats"} after the
+//!     sweep
 //!
-//! grip-client --check [--expect-hits] [--metrics] [--latency-summary]
+//! grip-client --check [--expect-hits] [--metrics] [--probes]
+//!             [--latency-summary]
 //!     read responses from stdin; fail (exit 1) on any !ok, unverified,
 //!     stalled, or template-violating response, or any grip-audit
 //!     report carrying diagnostics — and, with
 //!     --expect-hits, if no response was served from the schedule
 //!     cache; with --metrics, validate the metrics frames (nonzero
-//!     stage counters, lint-clean Prometheus text); print a
-//!     throughput/latency summary
+//!     stage counters, lint-clean Prometheus text); with --probes,
+//!     validate the flight-recorder events frame (lossless round-trips,
+//!     nonzero queue waits) and the windowed stats frame (per-shard
+//!     queue-wait histograms populated, stage self-times summing to
+//!     >= 95% of the windowed request wall); print a throughput/latency
+//!     summary
 //!
 //! grip-client --addr HOST:PORT [--repeat K] [--n N] [--seed S]
-//!             [--metrics] [--latency-summary]
+//!             [--rate R --duration S] [--deadline-ms D]
+//!             [--max-inflight M] [--metrics] [--probes]
+//!             [--latency-summary]
 //!     drive a TCP server with the same sweep and check + summarize the
-//!     responses
+//!     responses; with --rate/--duration the driver goes open-loop
+//!     (fixed arrival rate, never waiting for responses), reporting
+//!     client-side sojourn latency, the over-deadline count
+//!     (--deadline-ms), and arrivals shed because --max-inflight
+//!     requests were already outstanding
 //! ```
 //!
 //! `--latency-summary` prints a per-request latency histogram (the
 //! `grip-obs` log2 histogram) plus the cold/hit latency split.
 //!
-//! CI runs `grip-client --emit --metrics | grip-serve | grip-client
-//! --check --expect-hits --metrics` as the protocol + metrics smoke.
+//! CI runs the open-loop pipe `grip-client --emit --rate … --duration …
+//! --metrics --probes | grip-serve | grip-client --check --expect-hits
+//! --metrics --probes` as the protocol + telemetry smoke.
 
 #![forbid(unsafe_code)]
 
 use grip_json::Json;
 use grip_obs::metrics::{bucket_bound, prometheus_lint};
-use grip_obs::Histogram;
+use grip_obs::{FlightRecord, Histogram};
 use grip_service::workload::{mixed_workload, percentile};
 use grip_service::{proto, CacheStatus, ScheduleResponse};
 use std::io::{BufRead, BufWriter, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 struct Opts {
     mode: Mode,
@@ -46,7 +67,17 @@ struct Opts {
     seed: u64,
     expect_hits: bool,
     metrics: bool,
+    probes: bool,
     latency_summary: bool,
+    /// Open-loop arrival rate (requests per second).
+    rate: Option<f64>,
+    /// Open-loop run length, seconds.
+    duration: Option<f64>,
+    /// Sojourn budget for the open-loop TCP driver; 0 disables.
+    deadline_ms: u64,
+    /// Open-loop TCP arrivals are shed (skipped, counted) beyond this
+    /// many outstanding requests; 0 means unbounded.
+    max_inflight: usize,
 }
 
 enum Mode {
@@ -58,7 +89,8 @@ enum Mode {
 fn usage() -> ! {
     eprintln!(
         "usage: grip-client (--emit | --check [--expect-hits] | --addr HOST:PORT) \
-         [--repeat K] [--n N] [--seed S] [--metrics] [--latency-summary]"
+         [--repeat K] [--n N] [--seed S] [--rate R --duration S] [--deadline-ms D] \
+         [--max-inflight M] [--metrics] [--probes] [--latency-summary]"
     );
     std::process::exit(2)
 }
@@ -73,7 +105,12 @@ fn parse_args() -> Opts {
         seed: 0x9fb3,
         expect_hits: false,
         metrics: false,
+        probes: false,
         latency_summary: false,
+        rate: None,
+        duration: None,
+        deadline_ms: 0,
+        max_inflight: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -88,8 +125,32 @@ fn parse_args() -> Opts {
             "--seed" => {
                 opts.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
+            "--rate" => {
+                opts.rate = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r: &f64| *r > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--duration" => {
+                opts.duration = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s: &f64| *s > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--max-inflight" => {
+                opts.max_inflight =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--expect-hits" => opts.expect_hits = true,
             "--metrics" => opts.metrics = true,
+            "--probes" => opts.probes = true,
             "--latency-summary" => opts.latency_summary = true,
             "--help" | "-h" => usage(),
             other => {
@@ -99,6 +160,10 @@ fn parse_args() -> Opts {
         }
     }
     opts.mode = mode.unwrap_or_else(|| usage());
+    if opts.rate.is_some() != opts.duration.is_some() {
+        eprintln!("--rate and --duration must be given together");
+        usage()
+    }
     opts
 }
 
@@ -111,14 +176,81 @@ fn metrics_probe_lines() -> [String; 2] {
     ]
 }
 
+/// The telemetry probes `--probes` appends: the flight-recorder dump and
+/// the windowed stats frame.
+fn telemetry_probe_lines() -> [String; 2] {
+    [
+        Json::obj().field("cmd", "events").field("n", 32u64).line(),
+        Json::obj().field("cmd", "stats").line(),
+    ]
+}
+
+/// Everything a response stream can carry, split by frame kind.
+#[derive(Default)]
+struct Frames {
+    responses: Vec<ScheduleResponse>,
+    metrics: Vec<Json>,
+    events: Vec<Json>,
+    stats: Vec<Json>,
+}
+
+impl Frames {
+    /// Route one parsed line into the right bucket. Non-JSON or malformed
+    /// response lines are fatal.
+    fn take(&mut self, text: &str) {
+        let j = Json::parse(text).unwrap_or_else(|e| {
+            eprintln!("[grip-client] response is not JSON ({e}): {text}");
+            std::process::exit(1);
+        });
+        if j.get("cmd").is_some() {
+            match j.get("cmd").and_then(Json::as_str) {
+                Some("metrics") => self.metrics.push(j),
+                Some("events") => self.events.push(j),
+                Some("stats") => self.stats.push(j),
+                _ => {} // other command frames pass through unchecked
+            }
+            return;
+        }
+        match proto::response_from_json(&j) {
+            Ok(r) => self.responses.push(r),
+            Err(e) => {
+                eprintln!("[grip-client] bad response line ({e}): {text}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Client-side accounting for one open-loop run.
+#[derive(Clone, Copy, Debug, Default)]
+struct OpenLoopStats {
+    /// Arrivals the rate schedule generated.
+    offered: usize,
+    /// Requests actually written.
+    sent: usize,
+    /// Arrivals skipped because `--max-inflight` was reached.
+    shed: usize,
+    /// Responses whose client-side sojourn exceeded `--deadline-ms`.
+    over_budget: usize,
+    /// Largest outstanding-request count observed at an arrival instant.
+    max_inflight_seen: usize,
+}
+
 fn main() {
     let opts = parse_args();
     match &opts.mode {
         Mode::Emit => emit(&opts),
         Mode::Check => {
             let stdin = std::io::stdin();
-            let (responses, metrics) = read_responses(stdin.lock());
-            finish(&opts, &responses, &metrics, None);
+            let mut frames = Frames::default();
+            for line in stdin.lock().lines() {
+                let line = line.expect("read responses");
+                let text = line.trim();
+                if !text.is_empty() {
+                    frames.take(text);
+                }
+            }
+            finish(&opts, &frames, None, None);
         }
         Mode::Addr(addr) => drive_tcp(&opts, addr),
     }
@@ -139,11 +271,47 @@ fn audit_workload(opts: &Opts) -> Vec<grip_service::ScheduleRequest> {
         .collect()
 }
 
+/// Sleep until the absolute deadline of the next open-loop arrival.
+fn pace_until(next: Instant) {
+    if let Some(d) = next.checked_duration_since(Instant::now()) {
+        std::thread::sleep(d);
+    }
+}
+
 fn emit(opts: &Opts) {
     let stdout = std::io::stdout();
     let mut w = BufWriter::new(stdout.lock());
-    for req in audit_workload(opts) {
-        writeln!(w, "{}", proto::request_to_json(&req).line()).expect("stdout");
+    let reqs = audit_workload(opts);
+    match (opts.rate, opts.duration) {
+        (Some(rate), Some(secs)) => {
+            // Open-loop: cycle the sweep at a fixed arrival rate,
+            // flushing per line so the server sees each arrival when the
+            // schedule says so, not when the pipe buffer fills.
+            let period = Duration::from_secs_f64(1.0 / rate);
+            let t0 = Instant::now();
+            let mut next = t0;
+            let mut i = 0usize;
+            while t0.elapsed().as_secs_f64() < secs {
+                let mut req = reqs[i % reqs.len()].clone();
+                req.id = i as u64 + 1;
+                writeln!(w, "{}", proto::request_to_json(&req).line()).expect("stdout");
+                w.flush().expect("stdout");
+                i += 1;
+                next += period;
+                pace_until(next);
+            }
+            eprintln!("[grip-client] open-loop emit: {i} requests at {rate}/s over {secs}s");
+        }
+        _ => {
+            for req in reqs {
+                writeln!(w, "{}", proto::request_to_json(&req).line()).expect("stdout");
+            }
+        }
+    }
+    if opts.probes {
+        for line in telemetry_probe_lines() {
+            writeln!(w, "{line}").expect("stdout");
+        }
     }
     if opts.metrics {
         for line in metrics_probe_lines() {
@@ -153,53 +321,73 @@ fn emit(opts: &Opts) {
     w.flush().expect("stdout");
 }
 
-fn read_responses(reader: impl BufRead) -> (Vec<ScheduleResponse>, Vec<Json>) {
-    let mut out = Vec::new();
-    let mut metrics = Vec::new();
-    for line in reader.lines() {
-        let line = line.expect("read responses");
-        let text = line.trim();
-        if text.is_empty() {
-            continue;
-        }
-        let j = Json::parse(text).unwrap_or_else(|e| {
-            eprintln!("[grip-client] response is not JSON ({e}): {text}");
-            std::process::exit(1);
-        });
-        if j.get("cmd").is_some() {
-            if j.get("cmd").and_then(Json::as_str) == Some("metrics") {
-                metrics.push(j);
-            }
-            continue; // other command frames pass through unchecked
-        }
-        match proto::response_from_json(&j) {
-            Ok(r) => out.push(r),
-            Err(e) => {
-                eprintln!("[grip-client] bad response line ({e}): {text}");
-                std::process::exit(1);
-            }
-        }
-    }
-    (out, metrics)
-}
-
 fn drive_tcp(opts: &Opts, addr: &str) {
-    let reqs = audit_workload(opts);
-    let total = reqs.len();
-    let want_metrics = opts.metrics;
     let stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
         eprintln!("[grip-client] cannot connect to {addr}: {e}");
         std::process::exit(1);
     });
     let reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
-    let t0 = std::time::Instant::now();
-    // Writer thread streams every request; the server pipelines across
-    // its shards and answers in order. With --metrics the two probe
-    // commands follow the sweep, so their answers arrive last.
-    let writer = std::thread::spawn(move || {
+    // Outstanding-request count, shared between the paced writer (inc)
+    // and the reader (dec) — the open-loop shed decision and the
+    // queue-pressure sample both read it at arrival instants.
+    let inflight = Arc::new(AtomicUsize::new(0));
+    // Send timestamps ride to the reader in request order (responses are
+    // answered in order), giving client-side sojourn latency.
+    let (stamp_tx, stamp_rx) = mpsc::channel::<Instant>();
+    let t0 = Instant::now();
+
+    let reqs = audit_workload(opts);
+    let open_loop = opts.rate.zip(opts.duration);
+    let max_inflight = opts.max_inflight;
+    let want_metrics = opts.metrics;
+    let want_probes = opts.probes;
+    let inflight_w = Arc::clone(&inflight);
+    let writer = std::thread::spawn(move || -> OpenLoopStats {
         let mut w = BufWriter::new(stream.try_clone().expect("clone stream"));
-        for req in reqs {
-            writeln!(w, "{}", proto::request_to_json(&req).line()).expect("send request");
+        let mut ol = OpenLoopStats::default();
+        match open_loop {
+            Some((rate, secs)) => {
+                let period = Duration::from_secs_f64(1.0 / rate);
+                let start = Instant::now();
+                let mut next = start;
+                let mut i = 0usize;
+                while start.elapsed().as_secs_f64() < secs {
+                    ol.offered += 1;
+                    let outstanding = inflight_w.load(Ordering::Acquire);
+                    ol.max_inflight_seen = ol.max_inflight_seen.max(outstanding);
+                    if max_inflight > 0 && outstanding >= max_inflight {
+                        // Open-loop semantics: a full pipeline sheds the
+                        // arrival instead of delaying the schedule.
+                        ol.shed += 1;
+                    } else {
+                        let mut req = reqs[i % reqs.len()].clone();
+                        req.id = i as u64 + 1;
+                        i += 1;
+                        inflight_w.fetch_add(1, Ordering::AcqRel);
+                        stamp_tx.send(Instant::now()).expect("reader gone");
+                        writeln!(w, "{}", proto::request_to_json(&req).line())
+                            .expect("send request");
+                        w.flush().expect("flush request");
+                        ol.sent += 1;
+                    }
+                    next += period;
+                    pace_until(next);
+                }
+            }
+            None => {
+                for req in reqs {
+                    inflight_w.fetch_add(1, Ordering::AcqRel);
+                    stamp_tx.send(Instant::now()).expect("reader gone");
+                    writeln!(w, "{}", proto::request_to_json(&req).line()).expect("send request");
+                    ol.offered += 1;
+                    ol.sent += 1;
+                }
+            }
+        }
+        if want_probes {
+            for line in telemetry_probe_lines() {
+                writeln!(w, "{line}").expect("send telemetry probe");
+            }
         }
         if want_metrics {
             for line in metrics_probe_lines() {
@@ -211,44 +399,44 @@ fn drive_tcp(opts: &Opts, addr: &str) {
         // reader clone keeps the fd alive); send an explicit write-side
         // FIN so the server sees EOF once everything is answered.
         let _ = stream.shutdown(std::net::Shutdown::Write);
+        ol
     });
-    let mut responses = Vec::with_capacity(total);
-    let mut metrics = Vec::new();
-    let mut lines = reader.lines();
-    let expected_metrics = if opts.metrics { metrics_probe_lines().len() } else { 0 };
-    while responses.len() < total || metrics.len() < expected_metrics {
-        match lines.next() {
-            Some(Ok(line)) => {
-                let text = line.trim();
-                if text.is_empty() {
-                    continue;
-                }
-                let j = Json::parse(text).unwrap_or_else(|e| {
-                    eprintln!("[grip-client] response is not JSON ({e}): {text}");
-                    std::process::exit(1);
-                });
-                if j.get("cmd").is_some() {
-                    if j.get("cmd").and_then(Json::as_str) == Some("metrics") {
-                        metrics.push(j);
-                    }
-                    continue;
-                }
-                responses.push(proto::response_from_json(&j).unwrap_or_else(|e| {
-                    eprintln!("[grip-client] bad response ({e}): {text}");
-                    std::process::exit(1);
-                }));
-            }
-            _ => {
-                eprintln!(
-                    "[grip-client] connection closed after {}/{total} responses",
-                    responses.len()
-                );
-                std::process::exit(1);
-            }
+
+    // Read until the server closes (it drains everything before EOF).
+    let mut frames = Frames::default();
+    let mut sojourn_ns: Vec<u64> = Vec::new();
+    for line in reader.lines() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("[grip-client] connection error after {} responses: {e}", sojourn_ns.len());
+            std::process::exit(1);
+        });
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let before = frames.responses.len();
+        frames.take(text);
+        if frames.responses.len() > before {
+            inflight.fetch_sub(1, Ordering::AcqRel);
+            let sent_at = stamp_rx.recv().expect("writer stamps every request");
+            sojourn_ns.push(sent_at.elapsed().as_nanos() as u64);
         }
     }
-    writer.join().expect("writer thread");
-    finish(opts, &responses, &metrics, Some(t0.elapsed()));
+    let mut ol = writer.join().expect("writer thread");
+    if frames.responses.len() != ol.sent {
+        eprintln!(
+            "[grip-client] connection closed after {}/{} responses",
+            frames.responses.len(),
+            ol.sent
+        );
+        std::process::exit(1);
+    }
+    if opts.deadline_ms > 0 {
+        let budget = opts.deadline_ms.saturating_mul(1_000_000);
+        ol.over_budget = sojourn_ns.iter().filter(|&&ns| ns > budget).count();
+    }
+    let open = opts.rate.is_some() || opts.deadline_ms > 0 || opts.max_inflight > 0;
+    finish(opts, &frames, Some(t0.elapsed()), open.then_some((ol, sojourn_ns)));
 }
 
 /// Validate the `metrics` command answers: the JSON snapshot must carry
@@ -285,6 +473,82 @@ fn check_metrics_frames(frames: &[Json]) -> Result<(), String> {
     prometheus_lint(text).map_err(|e| format!("Prometheus exposition failed the lint: {e}"))?;
     if !text.contains("grip_requests_total") {
         return Err("Prometheus exposition is missing grip_requests_total".to_string());
+    }
+    Ok(())
+}
+
+/// Validate the `--probes` answers end to end.
+///
+/// Events frame: non-empty, every record a lossless `FlightRecord` wire
+/// round-trip with ordered timestamps, and at least one nonzero queue
+/// wait (jobs really crossed a shard queue).
+///
+/// Windowed stats frame: the aggregate **and** at least one per-shard
+/// queue-wait histogram saw samples, and the windowed stage self-times
+/// sum to at least 95% of the windowed request wall — the rolling window
+/// accounts for where the time actually went.
+fn check_probe_frames(frames: &Frames) -> Result<(), String> {
+    let ev = frames.events.last().ok_or("no events frame seen")?;
+    let records = match ev.get("events") {
+        Some(Json::Arr(a)) if !a.is_empty() => a,
+        Some(Json::Arr(_)) => return Err("events frame is empty".to_string()),
+        _ => return Err("events frame has no events array".to_string()),
+    };
+    let mut queue_waited = false;
+    for e in records {
+        let rec = FlightRecord::from_json(e);
+        if rec.to_json().line() != e.line() {
+            return Err(format!("flight record is not a lossless round-trip: {}", e.line()));
+        }
+        if rec.trace_id.is_empty() {
+            return Err("flight record is missing its trace id".to_string());
+        }
+        if rec.enqueue_ns > rec.dequeue_ns || rec.dequeue_ns > rec.finish_ns {
+            return Err(format!("flight record timestamps are unordered: {}", e.line()));
+        }
+        queue_waited |= rec.queue_wait_ns > 0;
+    }
+    if !queue_waited {
+        return Err("no flight record shows a nonzero queue wait".to_string());
+    }
+
+    let st = frames.stats.last().ok_or("no stats frame seen")?;
+    let window = st.get("window").ok_or("stats frame has no window object")?;
+    let hists = match window.get("histograms") {
+        Some(Json::Obj(fields)) => fields,
+        _ => return Err("windowed stats carry no histograms".to_string()),
+    };
+    let count_of = |j: &Json| j.get("count").and_then(Json::as_i64).unwrap_or(0);
+    let sum_of = |j: &Json| j.get("sum").and_then(Json::as_i64).unwrap_or(0);
+    let aggregate = hists
+        .iter()
+        .find(|(n, _)| n == "grip_queue_wait_ns")
+        .ok_or("window has no aggregate queue-wait histogram")?;
+    if count_of(&aggregate.1) <= 0 {
+        return Err("aggregate queue-wait histogram saw no samples in the window".to_string());
+    }
+    if !hists.iter().any(|(n, j)| n.starts_with("grip_queue_wait_ns_s") && count_of(j) > 0) {
+        return Err("no per-shard queue-wait histogram saw samples in the window".to_string());
+    }
+    let wall = hists
+        .iter()
+        .find(|(n, _)| n == "grip_request_wall_ns")
+        .map(|(_, j)| sum_of(j))
+        .unwrap_or(0);
+    if wall <= 0 {
+        return Err("windowed request wall histogram is empty".to_string());
+    }
+    let stage_sum: i64 = hists
+        .iter()
+        .filter(|(n, _)| n.starts_with("grip_stage_self_ns_"))
+        .map(|(_, j)| sum_of(j))
+        .sum();
+    if (stage_sum as f64) < 0.95 * wall as f64 {
+        return Err(format!(
+            "windowed stage self-times cover only {:.1}% of the windowed wall \
+             ({stage_sum} of {wall} ns)",
+            100.0 * stage_sum as f64 / wall as f64
+        ));
     }
     Ok(())
 }
@@ -331,10 +595,11 @@ fn latency_summary(responses: &[ScheduleResponse]) -> String {
 
 fn finish(
     opts: &Opts,
-    responses: &[ScheduleResponse],
-    metrics: &[Json],
+    frames: &Frames,
     wall: Option<std::time::Duration>,
+    open_loop: Option<(OpenLoopStats, Vec<u64>)>,
 ) {
+    let responses = &frames.responses;
     let mut violations = 0usize;
     for r in responses {
         // Any non-empty diagnostic list fails the run, whatever its
@@ -383,7 +648,7 @@ fn finish(
     let mut lat_ns: Vec<u64> = responses.iter().map(|r| r.wall_ns).collect();
     lat_ns.sort_unstable();
     let us = |ns: u64| ns as f64 / 1000.0;
-    let summary = Json::obj()
+    let mut summary = Json::obj()
         .field("responses", responses.len())
         .field("violations", violations)
         .field("cache_hits", hits)
@@ -394,13 +659,28 @@ fn finish(
         )
         .field("p50_us", us(percentile(&lat_ns, 0.50)))
         .field("p99_us", us(percentile(&lat_ns, 0.99)));
-    let summary = match wall {
-        Some(d) => summary.field("wall_s", d.as_secs_f64()).field(
+    if let Some(d) = wall {
+        summary = summary.field("wall_s", d.as_secs_f64()).field(
             "requests_per_sec",
             if d.as_secs_f64() > 0.0 { responses.len() as f64 / d.as_secs_f64() } else { 0.0 },
-        ),
-        None => summary,
-    };
+        );
+    }
+    if let Some((ol, sojourn_ns)) = &open_loop {
+        let mut sorted = sojourn_ns.clone();
+        sorted.sort_unstable();
+        summary = summary.field(
+            "open_loop",
+            Json::obj()
+                .field("offered", ol.offered)
+                .field("sent", ol.sent)
+                .field("shed", ol.shed)
+                .field("over_budget", ol.over_budget)
+                .field("deadline_ms", opts.deadline_ms)
+                .field("max_inflight_seen", ol.max_inflight_seen)
+                .field("sojourn_p50_us", us(percentile(&sorted, 0.50)))
+                .field("sojourn_p99_us", us(percentile(&sorted, 0.99))),
+        );
+    }
     println!("{}", summary.line());
     if opts.latency_summary {
         print!("{}", latency_summary(responses));
@@ -417,11 +697,21 @@ fn finish(
         std::process::exit(1);
     }
     if opts.metrics {
-        if let Err(e) = check_metrics_frames(metrics) {
+        if let Err(e) = check_metrics_frames(&frames.metrics) {
             eprintln!("[grip-client] metrics check failed: {e}");
             std::process::exit(1);
         }
         eprintln!("[grip-client] metrics OK: stage counters nonzero, Prometheus lint clean");
+    }
+    if opts.probes {
+        if let Err(e) = check_probe_frames(frames) {
+            eprintln!("[grip-client] telemetry probe check failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[grip-client] telemetry OK: flight records lossless, queue waits nonzero, \
+             windowed stage times cover the windowed wall"
+        );
     }
     eprintln!("[grip-client] OK: {} responses, {hits} cache hits, 0 violations", responses.len());
 }

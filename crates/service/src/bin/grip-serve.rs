@@ -9,19 +9,30 @@
 //!   --shards N                    # worker shards (default: cores, ≤ 8)
 //!   --ddg-cache N                 # prepared-window entries per shard
 //!   --sched-cache N               # schedule entries per shard
+//!   --slow-ms N                   # flight-recorder slow threshold: any
+//!                                 # request slower than N ms retains its
+//!                                 # full span list and pass counters
+//!   --sample-ms N                 # metrics sampling period for the
+//!                                 # rolling window (default 1000)
 //! ```
 //!
-//! The stdin mode prints aggregate cache statistics to stderr at EOF, so
-//! `emit | grip-serve | check` pipelines get a throughput summary for
-//! free.
+//! The server ticks the process-wide window aggregator once at boot and
+//! then every `--sample-ms`, so `{"cmd":"stats"}` answers carry windowed
+//! rates and percentiles from the first request on. The stdin mode prints
+//! aggregate cache statistics to stderr at EOF, so `emit | grip-serve |
+//! check` pipelines get a throughput summary for free.
 
 #![forbid(unsafe_code)]
 
 use grip_service::{proto, Service, ServiceConfig};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: grip-serve [--tcp ADDR] [--shards N] [--ddg-cache N] [--sched-cache N]");
+    eprintln!(
+        "usage: grip-serve [--tcp ADDR] [--shards N] [--ddg-cache N] [--sched-cache N] \
+         [--slow-ms N] [--sample-ms N]"
+    );
     std::process::exit(2)
 }
 
@@ -29,6 +40,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ServiceConfig::default();
     let mut tcp: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
+    let mut sample_ms: u64 = 1000;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> usize {
@@ -42,6 +55,8 @@ fn main() {
             "--shards" => cfg.shards = num("shards"),
             "--ddg-cache" => cfg.engine.ddg_cache_cap = num("ddg-cache"),
             "--sched-cache" => cfg.engine.sched_cache_cap = num("sched-cache"),
+            "--slow-ms" => slow_ms = Some(num("slow-ms") as u64),
+            "--sample-ms" => sample_ms = (num("sample-ms") as u64).max(10),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -49,6 +64,25 @@ fn main() {
             }
         }
     }
+
+    // Touch the flight recorder now so its monotonic epoch predates every
+    // request — journal timestamps then never saturate at zero.
+    let recorder = grip_obs::events::global();
+    if let Some(ms) = slow_ms {
+        recorder.set_slow_threshold_ns(ms.saturating_mul(1_000_000));
+        eprintln!("[grip-serve] slow-request capture at >= {ms} ms");
+    }
+    // Seed the rolling window with a boot baseline, then keep sampling in
+    // the background: `{"cmd":"stats"}` diffs against the oldest retained
+    // snapshot, so the window is live from the first request.
+    grip_obs::window::global().tick_registry(grip_obs::global());
+    std::thread::Builder::new()
+        .name("grip-obs-sampler".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(sample_ms));
+            grip_obs::window::global().tick_registry(grip_obs::global());
+        })
+        .expect("spawn sampler thread");
 
     let service = Service::new(cfg);
     eprintln!("[grip-serve] {} shards", service.shards());

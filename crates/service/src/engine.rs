@@ -20,11 +20,13 @@
 
 use crate::cache::Lru;
 use crate::fingerprint::{graph_fingerprint, Fnv};
+use crate::pool::JobMeta;
 use crate::types::{CacheStatus, ScheduleRequest, ScheduleResponse};
 use grip_core::Resources;
 use grip_ir::Graph;
 use grip_kernels::Kernel;
 use grip_machine::MachineDesc;
+use grip_obs::{FlightRecord, SlowCapture};
 use grip_pipeline::{prepare, schedule_window, PipelineOptions, PreparedWindow};
 use grip_vm::{EquivReport, Machine};
 use std::rc::Rc;
@@ -143,8 +145,15 @@ impl Engine {
     }
 
     /// Serve one request. Infallible at this level: failures come back as
-    /// `ok == false` responses.
-    pub fn process(&mut self, shard: usize, req: &ScheduleRequest) -> ScheduleResponse {
+    /// `ok == false` responses. `meta` carries the pool's queue stamps;
+    /// direct callers (tests, single-threaded tools) pass
+    /// [`JobMeta::immediate`].
+    pub fn process(
+        &mut self,
+        shard: usize,
+        req: &ScheduleRequest,
+        meta: &JobMeta,
+    ) -> ScheduleResponse {
         self.processed += 1;
         grip_obs::counter!("grip_requests_total").inc();
         grip_obs::gauge!("grip_requests_inflight").add(1);
@@ -162,6 +171,15 @@ impl Engine {
         }
         resp.shard = shard;
         resp.wall_ns = timings.total_ns;
+        resp.trace_id = match &req.trace {
+            Some(t) => t.clone(),
+            None => format!("s{shard}-{}", self.processed),
+        };
+        // Journal the completion into the flight recorder before the
+        // opt-in delivery gates below strip the audit/bounds content the
+        // record summarizes. Observation-only: the response is not
+        // touched.
+        self.record_flight(&resp, meta, &timings);
         // Per-delivery observability fields: a cache hit must report
         // *this* request's timings and trace, not the cold run's. The
         // breakdown is opt-in (`want_timings`) so the default wire
@@ -176,11 +194,59 @@ impl Engine {
         if !req.want_bounds {
             resp.bounds = None;
         }
-        resp.trace_id = match &req.trace {
-            Some(t) => t.clone(),
-            None => format!("s{shard}-{}", self.processed),
-        };
         resp
+    }
+
+    /// Build one [`FlightRecord`] for a finished response and push it into
+    /// the global recorder. Requests whose wall time crosses the
+    /// recorder's slow threshold additionally retain the full span list
+    /// and the scheduler's pass counters.
+    fn record_flight(
+        &self,
+        resp: &ScheduleResponse,
+        meta: &JobMeta,
+        timings: &grip_obs::StageTimings,
+    ) {
+        let rec = grip_obs::events::global();
+        let slow = (timings.total_ns >= rec.slow_threshold_ns()).then(|| {
+            let s = &resp.stats;
+            SlowCapture {
+                spans: timings.stages.iter().map(|&(n, ns)| (n.to_string(), ns)).collect(),
+                counters: vec![
+                    ("picks".to_string(), s.picks),
+                    ("hops".to_string(), s.hops),
+                    ("arrivals".to_string(), s.arrivals),
+                    ("renames".to_string(), s.renames),
+                    ("splits".to_string(), s.splits),
+                    ("suspensions".to_string(), s.suspensions),
+                    ("gap_rejections".to_string(), s.gap_rejections),
+                    ("resource_blocks".to_string(), s.resource_blocks),
+                    ("latency_blocks".to_string(), s.latency_blocks),
+                    ("dce_removed".to_string(), s.dce_removed),
+                    ("nodes_deleted".to_string(), s.nodes_deleted),
+                ],
+            }
+        });
+        rec.record(FlightRecord {
+            trace_id: resp.trace_id.clone(),
+            kernel: resp.kernel.clone(),
+            machine: resp.machine.clone(),
+            shard: resp.shard as u64,
+            ok: resp.ok,
+            verified: resp.verified,
+            cache: resp.cache.as_str().to_string(),
+            enqueue_ns: rec.ns_of(meta.enqueued_at),
+            dequeue_ns: rec.ns_of(meta.dequeued_at),
+            finish_ns: rec.now_ns(),
+            queue_wait_ns: meta.queue_wait_ns(),
+            wall_ns: timings.total_ns,
+            stages: grip_obs::StageBreakdown::from_timings(timings),
+            audit_diagnostics: resp.audit.as_ref().map_or(0, |a| a.diagnostics.len() as u64),
+            bound_cycles: resp.bounds.map_or(0, |b| b.bound_cycles),
+            at_bound: resp.bounds.is_some_and(|b| b.at_bound),
+            result_digest: resp.state_digest,
+            slow,
+        });
     }
 
     fn process_inner(&mut self, req: &ScheduleRequest) -> ScheduleResponse {
@@ -398,7 +464,7 @@ mod tests {
     #[test]
     fn cold_engine_serves_and_verifies() {
         let mut e = Engine::new(EngineConfig::default());
-        let r = e.process(0, &req("LL12", 24, "clustered"));
+        let r = e.process(0, &req("LL12", 24, "clustered"), &JobMeta::immediate());
         assert!(r.ok, "{:?}", r.error);
         assert!(r.verified);
         assert_eq!(r.sched_stalls, 0);
@@ -413,8 +479,8 @@ mod tests {
     fn second_identical_request_hits_and_is_bit_identical() {
         let mut e = Engine::new(EngineConfig::default());
         let q = req("LL5", 16, "epic8");
-        let cold = e.process(0, &q);
-        let hot = e.process(0, &q);
+        let cold = e.process(0, &q, &JobMeta::immediate());
+        let hot = e.process(0, &q, &JobMeta::immediate());
         assert_eq!(hot.cache, CacheStatus::Hit);
         assert!(hot.bits_eq(&cold), "hit must be bit-identical:\n{cold:?}\n{hot:?}");
         let c = e.counters();
@@ -426,8 +492,8 @@ mod tests {
         let mut e = Engine::new(EngineConfig::default());
         // Same kernel/n; epic8 and mem_bound share width 8, hence the
         // same default unwind — the second request should DDG-hit.
-        let a = e.process(0, &req("LL3", 16, "epic8"));
-        let b = e.process(0, &req("LL3", 16, "mem_bound"));
+        let a = e.process(0, &req("LL3", 16, "epic8"), &JobMeta::immediate());
+        let b = e.process(0, &req("LL3", 16, "mem_bound"), &JobMeta::immediate());
         assert_eq!(a.cache, CacheStatus::Miss);
         assert_eq!(b.cache, CacheStatus::DdgHit);
         assert!(a.verified && b.verified);
@@ -451,13 +517,14 @@ mod tests {
             )),
         );
         let mut warm = Engine::new(EngineConfig::default());
-        let preset = warm.process(0, &req("LL12", 16, "epic8"));
-        let hit = warm.process(0, &inline_epic8);
+        let preset = warm.process(0, &req("LL12", 16, "epic8"), &JobMeta::immediate());
+        let hit = warm.process(0, &inline_epic8, &JobMeta::immediate());
         assert_eq!(preset.cache, CacheStatus::Miss);
         assert_eq!(hit.cache, CacheStatus::Hit, "content-addressed across spellings");
         // …but the hit must match what a cold run of *this* request says,
         // including the request's own machine label.
-        let cold = Engine::new(EngineConfig::default()).process(0, &inline_epic8);
+        let cold =
+            Engine::new(EngineConfig::default()).process(0, &inline_epic8, &JobMeta::immediate());
         assert_eq!(hit.machine, "inline");
         assert!(hit.bits_eq(&cold));
     }
@@ -465,12 +532,12 @@ mod tests {
     #[test]
     fn failures_are_responses_not_panics() {
         let mut e = Engine::new(EngineConfig::default());
-        assert!(!e.process(0, &req("LL99", 16, "epic8")).ok);
-        assert!(!e.process(0, &req("LL1", 0, "epic8")).ok);
-        assert!(!e.process(0, &req("LL1", 16, "nonsense")).ok);
+        assert!(!e.process(0, &req("LL99", 16, "epic8"), &JobMeta::immediate()).ok);
+        assert!(!e.process(0, &req("LL1", 0, "epic8"), &JobMeta::immediate()).ok);
+        assert!(!e.process(0, &req("LL1", 16, "nonsense"), &JobMeta::immediate()).ok);
         let mut q = req("LL1", 16, "epic8");
         q.unwind = Some(0);
-        assert!(!e.process(0, &q).ok);
+        assert!(!e.process(0, &q, &JobMeta::immediate()).ok);
     }
 
     #[test]

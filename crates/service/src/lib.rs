@@ -38,6 +38,7 @@ pub mod workload;
 
 pub use engine::{default_unwind, state_digest, CacheCounters, Engine, EngineConfig};
 pub use fingerprint::graph_fingerprint;
+pub use pool::{JobMeta, ShardedPool};
 pub use service::{Service, ServiceConfig, ServiceStats};
 pub use types::{
     inline_machine, CacheStatus, EngineOptions, MachineSpec, ScheduleRequest, ScheduleResponse,

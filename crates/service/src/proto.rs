@@ -11,6 +11,7 @@
 //! {"cmd":"stats"}
 //! {"cmd":"metrics"}
 //! {"cmd":"metrics","format":"prometheus"}
+//! {"cmd":"events","n":8}
 //! ```
 //!
 //! `machine` is a preset name or an inline description (missing slot caps
@@ -22,9 +23,13 @@
 //! cold schedule either way), and `bounds` (opt into attaching the
 //! `grip-bounds` optimality certificate — likewise proven on every cold
 //! schedule). Unknown request keys are rejected, not ignored. `{"cmd":"stats"}` answers with
-//! the aggregate cache counters after all in-flight requests drain;
+//! the aggregate cache counters after all in-flight requests drain, plus a
+//! `"window"` object — the rolling-window view of the metrics registry
+//! (rates and p50/p95/p99 deltas over the server's sampling window);
 //! `{"cmd":"metrics"}` dumps the process-wide metrics registry (JSON, or
-//! Prometheus text with `"format":"prometheus"`).
+//! Prometheus text with `"format":"prometheus"`); `{"cmd":"events","n":K}`
+//! returns the flight recorder's last `K` per-request records (and up to
+//! `K` retained slow-request captures), most-recent-first.
 //!
 //! Responses echo the request `id` and carry the full measurement
 //! (cycles, stalls, scheduler counters, fingerprints, verification flag,
@@ -511,10 +516,49 @@ pub fn serve_lines(
                     let _ = ack_rx.recv();
                     match j.get("cmd").and_then(Json::as_str) {
                         Some("stats") => {
+                            // The windowed view diffs the current registry
+                            // against the sampler's oldest retained
+                            // snapshot (empty until the first tick — the
+                            // serve binary ticks at boot and ~1 Hz).
+                            let window =
+                                grip_obs::window::global().stats_registry(grip_obs::global());
                             let out = Json::obj()
                                 .field("cmd", "stats")
                                 .field("ok", true)
-                                .field("stats", service.stats().to_json());
+                                .field("stats", service.stats().to_json())
+                                .field("window", window.to_json());
+                            send(&frames, Frame::Line(out.line()));
+                        }
+                        // `{"cmd":"events","n":K}` dumps the flight
+                        // recorder: the last K completion records plus up
+                        // to K retained slow-request captures, newest
+                        // first. The pipeline is quiesced, so every
+                        // request answered before this line is journaled.
+                        Some("events") => {
+                            let rec = grip_obs::events::global();
+                            let n = match j.get("n") {
+                                None | Some(Json::Null) => 16,
+                                Some(v) => match v.as_i64() {
+                                    Some(k) if k >= 0 => k as usize,
+                                    _ => {
+                                        summary.rejected += 1;
+                                        let out = Json::obj()
+                                            .field("ok", false)
+                                            .field("error", "\"n\" must be a non-negative integer");
+                                        send(&frames, Frame::Line(out.line()));
+                                        continue;
+                                    }
+                                },
+                            };
+                            let events: Vec<Json> =
+                                rec.recent(n).iter().map(|r| r.to_json()).collect();
+                            let slow: Vec<Json> = rec.slow(n).iter().map(|r| r.to_json()).collect();
+                            let out = Json::obj()
+                                .field("cmd", "events")
+                                .field("ok", true)
+                                .field("total", rec.total_recorded())
+                                .field("events", Json::Arr(events))
+                                .field("slow", Json::Arr(slow));
                             send(&frames, Frame::Line(out.line()));
                         }
                         // `{"cmd":"metrics"}` dumps the process-wide
@@ -694,6 +738,44 @@ mod tests {
         assert_eq!(st.get("sched_hits").and_then(Json::as_i64), Some(1));
         let r3 = response_from_json(&lines[4]).unwrap();
         assert!(!r3.ok && r3.error.unwrap().contains("unknown kernel"));
+    }
+
+    #[test]
+    fn events_command_dumps_journaled_flight_records() {
+        let svc = Service::new(ServiceConfig { shards: 1, ..Default::default() });
+        let input = "\
+            {\"id\":1,\"kernel\":\"LL1\",\"n\":12,\"machine\":\"uniform4\",\"trace\":\"ev-a\"}\n\
+            {\"id\":2,\"kernel\":\"LL1\",\"n\":12,\"machine\":\"uniform4\",\"trace\":\"ev-b\"}\n\
+            {\"cmd\":\"events\",\"n\":2}\n\
+            {\"cmd\":\"events\",\"n\":-3}\n\
+            {\"cmd\":\"stats\"}\n";
+        let mut out = Vec::new();
+        serve_lines(&svc, input.as_bytes(), &mut out).unwrap();
+        let lines: Vec<Json> =
+            String::from_utf8(out).unwrap().lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 5);
+        let ev = &lines[2];
+        assert_eq!(ev.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(ev.get("total").and_then(Json::as_i64).unwrap() >= 2, "both requests journaled");
+        let events = match ev.get("events") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("events must be an array, got {other:?}"),
+        };
+        // The recorder is process-global (other tests may interleave), so
+        // check shape, not identity: the dump honours `n`, and every
+        // record is a lossless FlightRecord wire form.
+        assert_eq!(events.len(), 2, "the dump honours n");
+        for e in events {
+            let rec = grip_obs::FlightRecord::from_json(e);
+            assert!(!rec.trace_id.is_empty());
+            assert!(rec.finish_ns >= rec.dequeue_ns && rec.dequeue_ns >= rec.enqueue_ns);
+            assert_eq!(rec.to_json().line(), e.line(), "record round-trips losslessly");
+        }
+        // A negative n is a protocol error, answered in-band.
+        assert_eq!(lines[3].get("ok").and_then(Json::as_bool), Some(false));
+        // The stats answer now carries the rolling-window object (empty
+        // here: nothing ticks the sampler in stdin tests).
+        assert!(lines[4].get("window").is_some(), "stats carries the windowed view");
     }
 
     #[test]

@@ -71,8 +71,8 @@ impl Service {
         let pool = ShardedPool::new(
             shards,
             move |_| Engine::new(engine_cfg),
-            move |shard, engine: &mut Engine, req: ScheduleRequest| {
-                let resp = engine.process(shard, &req);
+            move |shard, engine: &mut Engine, req: ScheduleRequest, meta| {
+                let resp = engine.process(shard, &req, meta);
                 *counters_w[shard].lock().expect("counter lock poisoned") = engine.counters();
                 resp
             },

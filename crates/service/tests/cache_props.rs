@@ -5,8 +5,8 @@
 use grip_machine::LatencyTable;
 use grip_service::workload::splitmix64;
 use grip_service::{
-    inline_machine, CacheStatus, Engine, EngineConfig, EngineOptions, MachineSpec, ScheduleRequest,
-    Service, ServiceConfig,
+    inline_machine, CacheStatus, Engine, EngineConfig, EngineOptions, JobMeta, MachineSpec,
+    ScheduleRequest, Service, ServiceConfig,
 };
 
 /// A random request over a small but diverse space: 6 kernels, presets +
@@ -71,8 +71,8 @@ fn warm_responses_are_bit_identical_to_cold_runs() {
     let mut ddg_hits = 0;
     for id in 0..40 {
         let req = random_request(&mut state, id);
-        let served = warm.process(0, &req);
-        let cold = Engine::new(EngineConfig::default()).process(0, &req);
+        let served = warm.process(0, &req, &JobMeta::immediate());
+        let cold = Engine::new(EngineConfig::default()).process(0, &req, &JobMeta::immediate());
         assert_eq!(cold.cache, CacheStatus::Miss);
         assert!(
             served.bits_eq(&cold),
@@ -104,10 +104,10 @@ fn evictions_preserve_bit_identity() {
     let mut engine = Engine::new(tiny);
     let mut state = 0x0dd_ba11_u64;
     let reqs: Vec<ScheduleRequest> = (0..10).map(|id| random_request(&mut state, id)).collect();
-    let firsts: Vec<_> = reqs.iter().map(|r| engine.process(0, r)).collect();
+    let firsts: Vec<_> = reqs.iter().map(|r| engine.process(0, r, &JobMeta::immediate())).collect();
     // Cycle through them again: many were evicted, all must reproduce.
     for (req, first) in reqs.iter().zip(&firsts) {
-        let again = engine.process(0, req);
+        let again = engine.process(0, req, &JobMeta::immediate());
         assert!(again.bits_eq(first), "eviction broke determinism for {}", req.kernel);
     }
     assert!(engine.counters().sched_evictions > 0, "tiny cache must have evicted");

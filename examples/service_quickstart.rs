@@ -1,12 +1,23 @@
 //! Drive the scheduling service end to end: build a [`Service`], submit a
-//! batch across machines, read the verified measurements, then watch the
-//! content-addressed caches absorb a repeat of the same work.
+//! batch across machines, read the verified measurements, watch the
+//! content-addressed caches absorb a repeat of the same work — then read
+//! the telemetry the run left behind: the flight-recorder journal, the
+//! slow-request captures, the rolling-window stats, and the queue
+//! metrics.
 //!
 //! Run with: `cargo run --release --example service_quickstart`
 
 use grip::service::{CacheStatus, MachineSpec, ScheduleRequest, Service, ServiceConfig};
 
 fn main() {
+    // Telemetry setup, all optional and observation-only: baseline the
+    // rolling window before any work so the windowed stats at the end
+    // cover the whole run, and ask the flight recorder to retain full
+    // detail (span tree + pass counters) for any request over 25 ms —
+    // cold schedules will cross that, cache hits never will.
+    grip::obs::window::global().tick_registry(grip::obs::global());
+    grip::obs::events::global().set_slow_threshold_ns(25_000_000);
+
     // A service with default sizing: one worker shard per core (max 8),
     // per-shard DDG + schedule caches.
     let service = Service::new(ServiceConfig::default());
@@ -62,4 +73,71 @@ fn main() {
 
     let stats = service.stats();
     println!("\nservice stats: {}", stats.to_json().line());
+
+    // --- Telemetry walkthrough -------------------------------------
+
+    // 1. The flight recorder journaled every request: identity, cache
+    //    status, the enqueue -> dequeue -> finish timeline, and the
+    //    per-stage breakdown. The journal is a bounded ring, so this is
+    //    safe to leave on in production.
+    let recorder = grip::obs::events::global();
+    println!("\nflight journal ({} recorded), three most recent:", recorder.total_recorded());
+    for rec in recorder.recent(3) {
+        println!(
+            "  {:<6} {:<10} {:<7} queued {:>9.1} us, served {:>9.1} us",
+            rec.kernel,
+            rec.machine,
+            rec.cache,
+            rec.queue_wait_ns as f64 / 1000.0,
+            rec.wall_ns as f64 / 1000.0,
+        );
+    }
+
+    // 2. Requests over the slow threshold kept their full span list and
+    //    scheduler pass counters — enough to explain *why* one request
+    //    was slow long after it happened.
+    let slow = recorder.slow(1);
+    if let Some(rec) = slow.first() {
+        let detail = rec.slow.as_ref().expect("slow records retain their capture");
+        println!(
+            "\nslowest capture: {} on {} ({:.1} ms)",
+            rec.kernel,
+            rec.machine,
+            rec.wall_ns as f64 / 1e6
+        );
+        for (span, ns) in &detail.spans {
+            println!("  span {span:<10} {:>10.1} us", *ns as f64 / 1000.0);
+        }
+        for (counter, v) in detail.counters.iter().take(4) {
+            println!("  {counter:<15} {v}");
+        }
+    }
+
+    // 3. The rolling window: tick once more and diff against the boot
+    //    baseline for whole-run rates and percentiles. `grip-serve`
+    //    does this on a background sampler thread; `{"cmd":"stats"}`
+    //    serves the same object over the wire.
+    grip::obs::window::global().tick_registry(grip::obs::global());
+    let win = grip::obs::window::global().stats_registry(grip::obs::global());
+    println!("\nwindow: {:.2}s, {} samples", win.elapsed_s, win.samples);
+    for name in ["grip_request_wall_ns", "grip_queue_wait_ns"] {
+        if let Some(h) = win.histograms.iter().find(|(n, _)| n == name) {
+            println!(
+                "  {name:<22} count {:>3}  p50 ~{:>9.1} us  p99 ~{:>11.1} us",
+                h.1.count,
+                h.1.p50 as f64 / 1000.0,
+                h.1.p99 as f64 / 1000.0,
+            );
+        }
+    }
+
+    // 4. Queue metrics live in the same registry the Prometheus
+    //    exposition serves: per-shard depth gauges drained back to
+    //    zero, and the queue-wait histogram saw every job.
+    let reg = grip::obs::global();
+    println!(
+        "  queue depth now {} (drained), waits recorded {}",
+        reg.gauge("grip_queue_depth").get(),
+        reg.histogram("grip_queue_wait_ns").count(),
+    );
 }

@@ -88,6 +88,7 @@ pub use grip_ir as ir;
 pub use grip_json as json;
 pub use grip_kernels as kernels;
 pub use grip_machine as machine;
+pub use grip_obs as obs;
 pub use grip_percolate as percolate;
 pub use grip_pipeline as pipeline;
 pub use grip_service as service;
